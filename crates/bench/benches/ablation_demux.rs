@@ -1,0 +1,58 @@
+//! Ablation: CSPF linear-scan demultiplexing vs the MPF associative
+//! dispatch the paper's system used, as the number of installed
+//! sessions grows. (DESIGN.md §5: the receive path's classification
+//! cost is the design choice behind the Yuhara et al. integration.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec};
+use psd_wire::{EtherAddr, EtherType, EthernetHeader, IpProto, Ipv4Header, UdpHeader};
+use std::net::Ipv4Addr;
+
+fn frame(dst_port: u16) -> Vec<u8> {
+    let ip = Ipv4Header::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        IpProto::Udp,
+        8,
+    );
+    let eth = EthernetHeader {
+        dst: EtherAddr::local(2),
+        src: EtherAddr::local(1),
+        ethertype: EtherType::Ipv4,
+    };
+    let mut f = eth.encode().to_vec();
+    f.extend_from_slice(&ip.encode());
+    f.extend_from_slice(&UdpHeader::new(999, dst_port, 0).encode());
+    f
+}
+
+fn bench_demux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/demux");
+    for sessions in [1usize, 8, 32, 128] {
+        for (strategy, name) in [(DemuxStrategy::Cspf, "cspf"), (DemuxStrategy::Mpf, "mpf")] {
+            let mut table: DemuxTable<u32> = DemuxTable::new(strategy);
+            for i in 0..sessions {
+                table.install(
+                    EndpointSpec::unconnected(
+                        IpProto::Udp,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        8000 + i as u16,
+                    ),
+                    i as u32,
+                );
+            }
+            // Worst case for the scan: the last-installed port.
+            let f = frame(8000 + sessions as u16 - 1);
+            // Report the modelled instruction counts once.
+            let steps = table.classify(&f).steps;
+            eprintln!("[virtual] {name} sessions={sessions}: {steps} filter insns");
+            group.bench_with_input(BenchmarkId::new(name, sessions), &sessions, |b, _| {
+                b.iter(|| table.classify(&f).owner)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demux);
+criterion_main!(benches);

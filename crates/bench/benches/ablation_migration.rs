@@ -1,0 +1,34 @@
+//! Ablation: the cost of the session-migration control path — full
+//! connect/transfer/close cycles per configuration. The paper's
+//! argument is that connection establishment can afford the extra IPC
+//! ("negligible compared to the latency of a multi-phase network
+//! handshake"); this measures it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psd_bench::{protolat, ApiStyle};
+use psd_server::Proto;
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn bench_connect_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/connect_cycle");
+    group.sample_size(10);
+    for config in [
+        SystemConfig::Mach25InKernel,
+        SystemConfig::UxServer,
+        SystemConfig::LibraryShmIpf,
+    ] {
+        // One connect + 2 round trips + close, dominated by the
+        // handshake; migration overhead is the delta between rows.
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                let mut bed = TestBed::new(config, Platform::DecStation5000_200, 5);
+                protolat(&mut bed, Proto::Tcp, 64, 0, 2, ApiStyle::Classic)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connect_cycle);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion wrapper for the Table 2 workloads: wall-clock cost of
+//! simulating `ttcp` and `protolat` per configuration. The *virtual*
+//! results (the numbers comparable to the paper) are printed once per
+//! benchmark and regenerated exactly by `cargo run -p psd-bench --bin
+//! table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psd_bench::{protolat, ttcp, ApiStyle};
+use psd_server::Proto;
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn bench_ttcp(c: &mut Criterion) {
+    let platform = Platform::DecStation5000_200;
+    let mut group = c.benchmark_group("table2/ttcp_1mb");
+    group.sample_size(10);
+    for config in SystemConfig::for_platform(platform) {
+        // Print the virtual-time result once.
+        let mut bed = TestBed::new(config, platform, 42);
+        let r = ttcp(&mut bed, 1 << 20, ApiStyle::Classic);
+        eprintln!(
+            "[virtual] {:<28} {:>6.0} KB/s",
+            config.label(),
+            r.kb_per_sec
+        );
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                let mut bed = TestBed::new(config, platform, 42);
+                ttcp(&mut bed, 1 << 20, ApiStyle::Classic)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protolat(c: &mut Criterion) {
+    let platform = Platform::DecStation5000_200;
+    let mut group = c.benchmark_group("table2/protolat_udp_1b");
+    group.sample_size(10);
+    for config in SystemConfig::for_platform(platform) {
+        let mut bed = TestBed::new(config, platform, 42);
+        let r = protolat(&mut bed, Proto::Udp, 1, 10, 50, ApiStyle::Classic);
+        eprintln!(
+            "[virtual] {:<28} rtt {:>7.3} ms",
+            config.label(),
+            r.rtt.as_millis_f64()
+        );
+        group.bench_function(config.label(), |b| {
+            b.iter(|| {
+                let mut bed = TestBed::new(config, platform, 42);
+                protolat(&mut bed, Proto::Udp, 1, 10, 50, ApiStyle::Classic)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttcp, bench_protolat);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion wrapper for Table 3: the NEWAPI shared-buffer interface
+//! against the conventional one on the library configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psd_bench::{ttcp, ApiStyle};
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn bench_newapi(c: &mut Criterion) {
+    let platform = Platform::DecStation5000_200;
+    let mut group = c.benchmark_group("table3/api_style");
+    group.sample_size(10);
+    for config in [SystemConfig::LibraryIpc, SystemConfig::LibraryShmIpf] {
+        for (api, name) in [(ApiStyle::Classic, "classic"), (ApiStyle::Newapi, "newapi")] {
+            let mut bed = TestBed::new(config, platform, 42);
+            let r = ttcp(&mut bed, 1 << 20, api);
+            eprintln!(
+                "[virtual] {:<28} {:<8} {:>6.0} KB/s",
+                config.label(),
+                name,
+                r.kb_per_sec
+            );
+            group.bench_function(format!("{}/{}", config.label(), name), |b| {
+                b.iter(|| {
+                    let mut bed = TestBed::new(config, platform, 42);
+                    ttcp(&mut bed, 1 << 20, api)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_newapi);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion wrapper for Table 4: the instrumented latency-breakdown
+//! runs (library / kernel / server, TCP and UDP). The per-layer tables
+//! themselves come from `cargo run -p psd-bench --bin table4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psd_bench::{protolat, ApiStyle};
+use psd_server::Proto;
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn bench_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/instrumented_protolat");
+    group.sample_size(10);
+    for (config, name) in [
+        (SystemConfig::LibraryShmIpf, "library"),
+        (SystemConfig::Mach25InKernel, "kernel"),
+        (SystemConfig::UxServer, "server"),
+    ] {
+        for (proto, pname) in [(Proto::Tcp, "tcp"), (Proto::Udp, "udp")] {
+            group.bench_function(format!("{name}/{pname}_1460b"), |b| {
+                b.iter(|| {
+                    let mut bed = TestBed::new(config, Platform::DecStation5000_200, 7);
+                    protolat(&mut bed, proto, 1460, 10, 50, ApiStyle::Classic)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Quick end-to-end smoke run across all DECstation configurations:
+//! one UDP latency point, one TCP latency point, and a 2 MB transfer
+//! per system. Finishes in seconds; use the `table2`/`table3`/`table4`
+//! binaries for the full paper-scale runs.
+
+use psd_bench::{protolat, ttcp, ApiStyle};
+use psd_server::Proto;
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn main() {
+    let platform = Platform::DecStation5000_200;
+    for config in SystemConfig::for_platform(platform) {
+        let mut bed = TestBed::new(config, platform, 42);
+        let lat = protolat(&mut bed, Proto::Udp, 1, 5, 20, ApiStyle::Classic);
+        println!(
+            "{:<28} UDP 1B rtt = {:.3} ms",
+            config.label(),
+            lat.rtt.as_millis_f64()
+        );
+    }
+    for config in SystemConfig::for_platform(platform) {
+        let mut bed = TestBed::new(config, platform, 42);
+        let lat = protolat(&mut bed, Proto::Tcp, 1, 5, 20, ApiStyle::Classic);
+        println!(
+            "{:<28} TCP 1B rtt = {:.3} ms",
+            config.label(),
+            lat.rtt.as_millis_f64()
+        );
+    }
+    for config in SystemConfig::for_platform(platform) {
+        let mut bed = TestBed::new(config, platform, 42);
+        let t = ttcp(&mut bed, 2 * 1024 * 1024, ApiStyle::Classic);
+        println!(
+            "{:<28} ttcp 2MB = {:.0} KB/s ({} rexmt)",
+            config.label(),
+            t.kb_per_sec,
+            t.retransmits
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Regenerates Table 2: TCP throughput (ttcp) and TCP/UDP round-trip
+//! latency (protolat) for every system configuration on both
+//! platforms.
+//!
+//! Usage: `cargo run --release -p psd-bench --bin table2 [--quick] [--gateway|--decstation]`
+//!
+//! `--quick` transfers 2 MB instead of the paper's 16 MB and runs 50
+//! latency rounds instead of 200.
+
+use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
+use psd_bench::{protolat, ttcp, ApiStyle};
+use psd_server::Proto;
+use psd_sim::Platform;
+use psd_systems::TestBed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (bytes, rounds) = if quick {
+        (2 << 20, 50)
+    } else {
+        (16 << 20, 200)
+    };
+    let platforms: Vec<Platform> = if args.iter().any(|a| a == "--gateway") {
+        vec![Platform::Gateway486]
+    } else if args.iter().any(|a| a == "--decstation") {
+        vec![Platform::DecStation5000_200]
+    } else {
+        vec![Platform::DecStation5000_200, Platform::Gateway486]
+    };
+
+    for platform in platforms {
+        println!("==== {} ====", platform.label());
+        println!(
+            "ttcp: {} MB memory-to-memory; latency: {} round trips/size\n",
+            bytes >> 20,
+            rounds
+        );
+        for row in table2_for(platform) {
+            let config = row.config;
+            // Throughput.
+            let mut bed = TestBed::new(config, platform, 42);
+            let t = ttcp(&mut bed, bytes, ApiStyle::Classic);
+            println!("{}", config.label());
+            println!(
+                "  throughput KB/s : {}   [buf {} KB]",
+                fmt_pair(t.kb_per_sec, row.throughput),
+                row.bufsize
+            );
+            // TCP latency.
+            print!("  TCP rtt ms      :");
+            for (i, &size) in TCP_SIZES.iter().enumerate() {
+                if row.tcp_ms[i].is_none() {
+                    print!("  {:>5}({:>5})", "NA", "NA");
+                    continue;
+                }
+                let mut bed = TestBed::new(config, platform, 43 + i as u64);
+                let lat = protolat(&mut bed, Proto::Tcp, size, 20, rounds, ApiStyle::Classic);
+                print!(
+                    "  {:5.2}({:5.2})",
+                    lat.rtt.as_millis_f64(),
+                    row.tcp_ms[i].unwrap_or(0.0)
+                );
+            }
+            println!();
+            // UDP latency.
+            print!("  UDP rtt ms      :");
+            for (i, &size) in UDP_SIZES.iter().enumerate() {
+                if row.udp_ms[i].is_none() {
+                    print!("  {:>5}({:>5})", "NA", "NA");
+                    continue;
+                }
+                let mut bed = TestBed::new(config, platform, 53 + i as u64);
+                let lat = protolat(&mut bed, Proto::Udp, size, 20, rounds, ApiStyle::Classic);
+                print!(
+                    "  {:5.2}({:5.2})",
+                    lat.rtt.as_millis_f64(),
+                    row.udp_ms[i].unwrap_or(0.0)
+                );
+            }
+            println!("\n");
+        }
+        // The §4.1 derived claims.
+        println!("-- derived shape checks ({}) --", platform.label());
+        let configs = table2_for(platform);
+        let tput = |c: psd_systems::SystemConfig| {
+            let mut bed = TestBed::new(c, platform, 42);
+            ttcp(&mut bed, bytes, ApiStyle::Classic).kb_per_sec
+        };
+        use psd_systems::SystemConfig::*;
+        if platform == Platform::DecStation5000_200 {
+            let kernel = tput(Mach25InKernel);
+            let ipc = tput(LibraryIpc);
+            let shm = tput(LibraryShm);
+            let ipf = tput(LibraryShmIpf);
+            let server = tput(UxServer);
+            println!(
+                "  Library-IPC / In-Kernel   = {:.2}  (paper ≈ 0.85)",
+                ipc / kernel
+            );
+            println!(
+                "  Library-SHM / Library-IPC = {:.2}  (paper ≈ 1.18)",
+                shm / ipc
+            );
+            println!(
+                "  Library-IPF / In-Kernel   = {:.2}  (paper ≈ 1.02)",
+                ipf / kernel
+            );
+            println!(
+                "  Server      / In-Kernel   = {:.2}  (paper ≈ 0.69)",
+                server / kernel
+            );
+        }
+        let _ = configs;
+        println!();
+    }
+}

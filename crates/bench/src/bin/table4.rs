@@ -1,0 +1,108 @@
+//! Regenerates Table 4: per-layer latency breakdown for the
+//! library-based (SHM-IPF), kernel-based (Mach 2.5) and server-based
+//! (UX) protocol stacks, TCP and UDP, at the minimum and maximum
+//! unfragmented message sizes.
+//!
+//! Usage: `cargo run -p psd-bench --bin table4 [--rounds N]`
+
+use psd_bench::tables::{table4, Table4Column};
+use psd_bench::{protolat, ApiStyle};
+use psd_server::Proto;
+use psd_sim::{Layer, Platform};
+use psd_systems::{SystemConfig, TestBed};
+
+fn config_for(system: &str) -> SystemConfig {
+    match system {
+        "Library" => SystemConfig::LibraryShmIpf,
+        "Kernel" => SystemConfig::Mach25InKernel,
+        "Server" => SystemConfig::UxServer,
+        other => panic!("unknown system {other}"),
+    }
+}
+
+fn main() {
+    let rounds: u32 = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+
+    println!("Table 4: average latency by layer (microseconds, one-way)");
+    println!("measured / (paper)  —  {} round trips per column\n", rounds);
+
+    let published = table4();
+    for col in &published {
+        run_column(col, rounds);
+    }
+}
+
+fn run_column(col: &Table4Column, rounds: u32) {
+    let config = config_for(col.system);
+    let proto = match col.proto {
+        "TCP" => Proto::Tcp,
+        _ => Proto::Udp,
+    };
+    let mut bed = TestBed::new(config, Platform::DecStation5000_200, 7);
+    let result = protolat(&mut bed, proto, col.size, 25, rounds, ApiStyle::Classic);
+
+    // Each round trip contains one message each way: per-message layer
+    // time = total / (2 × rounds). (TCP also carries ACK segments; the
+    // paper notes its numbers "only approximate the critical path".)
+    let per_msg = |layer: Layer| -> f64 {
+        let total = result.probe.borrow().layer(layer).total;
+        total.as_micros_f64() / (2.0 * f64::from(rounds))
+    };
+
+    println!(
+        "--- {} {} {}B ---  (rtt {:.3} ms)",
+        col.system,
+        col.proto,
+        col.size,
+        result.rtt.as_millis_f64()
+    );
+    let send_layers = [
+        Layer::EntryCopyin,
+        Layer::TcpUdpOutput,
+        Layer::IpOutput,
+        Layer::EtherOutput,
+    ];
+    let recv_layers = [
+        Layer::DeviceIntrRead,
+        Layer::NetisrPacketFilter,
+        Layer::KernelCopyout,
+        Layer::MbufQueue,
+        Layer::IpIntr,
+        Layer::TcpUdpInput,
+        Layer::WakeupUserThread,
+        Layer::CopyoutExit,
+    ];
+    let mut send_total = 0.0;
+    let mut send_paper = 0u32;
+    for (i, layer) in send_layers.iter().enumerate() {
+        let m = per_msg(*layer);
+        send_total += m;
+        send_paper += col.send[i];
+        println!("  {:<22} {:7.0}  ({:5})", layer.label(), m, col.send[i]);
+    }
+    println!(
+        "  {:<22} {:7.0}  ({:5})",
+        "SEND TOTAL", send_total, send_paper
+    );
+    let mut recv_total = 0.0;
+    let mut recv_paper = 0u32;
+    for (i, layer) in recv_layers.iter().enumerate() {
+        let m = per_msg(*layer);
+        recv_total += m;
+        recv_paper += col.recv[i];
+        println!("  {:<22} {:7.0}  ({:5})", layer.label(), m, col.recv[i]);
+    }
+    println!(
+        "  {:<22} {:7.0}  ({:5})",
+        "RECV TOTAL", recv_total, recv_paper
+    );
+    let transit = per_msg(Layer::NetworkTransit);
+    println!(
+        "  {:<22} {:7.0}  ({:5})\n",
+        "network transit", transit, col.transit
+    );
+}

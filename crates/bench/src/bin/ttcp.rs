@@ -1,0 +1,63 @@
+//! The `ttcp` microbenchmark as a CLI: "a memory-to-memory throughput
+//! benchmark for TCP that transfers 16 MB of data from one host to
+//! another."
+//!
+//! Usage:
+//!   cargo run --release -p psd-bench --bin ttcp -- \
+//!       [--config library-shm-ipf] [--platform decstation] \
+//!       [--mb 16] [--newapi] [--loss 0.01] [--seed 42]
+
+use psd_bench::{ttcp, ApiStyle};
+use psd_netdev::FaultModel;
+use psd_sim::Platform;
+use psd_systems::{SystemConfig, TestBed};
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn parse_config(s: &str) -> SystemConfig {
+    match s {
+        "mach25" | "in-kernel" => SystemConfig::Mach25InKernel,
+        "ultrix" => SystemConfig::Ultrix42InKernel,
+        "386bsd" => SystemConfig::Bsd386InKernel,
+        "ux" | "server" => SystemConfig::UxServer,
+        "bnr2ss" => SystemConfig::Bnr2ssServer,
+        "library-ipc" => SystemConfig::LibraryIpc,
+        "library-shm" => SystemConfig::LibraryShm,
+        "library-shm-ipf" | "library" => SystemConfig::LibraryShmIpf,
+        other => panic!("unknown config {other}"),
+    }
+}
+
+fn main() {
+    let config = parse_config(&arg("--config").unwrap_or_else(|| "library-shm-ipf".into()));
+    let platform = match arg("--platform").as_deref() {
+        Some("gateway") | Some("i486") => Platform::Gateway486,
+        _ => Platform::DecStation5000_200,
+    };
+    let mb: usize = arg("--mb").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let loss: f64 = arg("--loss").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let api = if std::env::args().any(|a| a == "--newapi") {
+        ApiStyle::Newapi
+    } else {
+        ApiStyle::Classic
+    };
+
+    let mut bed = TestBed::with_faults(config, platform, seed, FaultModel::lossy(loss));
+    let r = ttcp(&mut bed, mb << 20, api);
+    println!(
+        "ttcp-t: {} bytes in {:.2} real seconds = {:.2} KB/sec +++",
+        r.bytes,
+        r.elapsed.as_secs_f64(),
+        r.kb_per_sec
+    );
+    println!(
+        "ttcp-t: {} ({:?}) on {} [{} retransmits]",
+        config.label(),
+        api,
+        platform.label(),
+        r.retransmits
+    );
+}

@@ -1,0 +1,484 @@
+//! The data path: send and receive.
+//!
+//! "The BSD socket interface has ten different ways to move data
+//! through a session (`recv`, `recvfrom`, `recvmsg`, `read`, `readv`,
+//! and `send`, `sendto`, `sendmsg`, `write`, `writev`). For sockets,
+//! these calls are implemented entirely within the application's
+//! protocol library." [`AppLib::send`]/[`AppLib::recv`] are the core
+//! pair; the BSD spellings are provided as aliases. In library mode no
+//! operating-system interaction occurs here at all; in the baselines
+//! the same calls cross into the kernel (trap) or the server (RPC).
+//!
+//! The NEWAPI variants ([`AppLib::send_shared`],
+//! [`AppLib::recv_shared`]) implement §4.2: the application and the
+//! protocol share buffers, eliminating the copy at the socket
+//! interface.
+
+use crate::{ApiMode, AppHandle, AppLib, Fd, FdState};
+use psd_kernel::rpc_data_charge;
+use psd_mbuf::MbufChain;
+use psd_netstack::{InetAddr, SocketError};
+use psd_server::Proto;
+use psd_sim::{Layer, Sim, SimTime};
+use std::rc::Rc;
+
+impl AppLib {
+    /// `send(2)`/`write(2)` on a stream socket. Returns bytes queued.
+    pub fn send(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, SocketError> {
+        let (proto, state) = {
+            let app = this.borrow();
+            let entry = app.fds.get(&fd).ok_or(SocketError::BadSocket)?;
+            (entry.proto, entry.state.brief())
+        };
+        if proto != Proto::Tcp {
+            return AppLib::sendto(this, sim, fd, data, None);
+        }
+        match state {
+            Brief::Local(sock) => {
+                let stack = this.borrow().stack.clone().expect("local fd");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().tcp_send(sim, &mut charge, sock, data);
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Kern(sock) => {
+                let stack = this.borrow().stack.clone().expect("kernel stack");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().tcp_send(sim, &mut charge, sock, data);
+                if res.is_ok() {
+                    charge.crossing(
+                        Layer::EntryCopyin,
+                        SimTime::from_nanos(this.borrow().trap_entry()),
+                    );
+                    charge.add_ns(Layer::CopyoutExit, this.borrow().trap_exit());
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Session(sid) => {
+                let server = this.borrow().server.clone().expect("session fd");
+                let mut charge = this.borrow().begin(sim);
+                let res = server
+                    .borrow_mut()
+                    .data_send_tcp(sim, &mut charge, sid, data);
+                if let Ok(n) = res {
+                    this.borrow_mut().stats.data_rpcs += 1;
+                    rpc_data_charge(&this.borrow().costs, &mut charge, Layer::EntryCopyin, n);
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Fresh => Err(SocketError::NotConnected),
+        }
+    }
+
+    /// `recv(2)`/`read(2)` on a stream socket. `Ok(0)` is end of file.
+    pub fn recv(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        buf: &mut [u8],
+    ) -> Result<usize, SocketError> {
+        let (proto, state) = {
+            let app = this.borrow();
+            let entry = app.fds.get(&fd).ok_or(SocketError::BadSocket)?;
+            (entry.proto, entry.state.brief())
+        };
+        if proto != Proto::Tcp {
+            return AppLib::recvfrom(this, sim, fd, buf).map(|(n, _)| n);
+        }
+        match state {
+            Brief::Local(sock) => {
+                let stack = this.borrow().stack.clone().expect("local fd");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().tcp_recv(sim, &mut charge, sock, buf);
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Kern(sock) => {
+                let stack = this.borrow().stack.clone().expect("kernel stack");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().tcp_recv(sim, &mut charge, sock, buf);
+                if res.is_ok() {
+                    charge.crossing(
+                        Layer::CopyoutExit,
+                        SimTime::from_nanos(this.borrow().trap_exit()),
+                    );
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Session(sid) => {
+                let server = this.borrow().server.clone().expect("session fd");
+                let mut charge = this.borrow().begin(sim);
+                this.borrow_mut().stats.data_rpcs += 1;
+                let res = server
+                    .borrow_mut()
+                    .data_recv_tcp(sim, &mut charge, sid, buf);
+                if let Ok(n) = res {
+                    rpc_data_charge(&this.borrow().costs, &mut charge, Layer::CopyoutExit, n);
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Fresh => Err(SocketError::NotConnected),
+        }
+    }
+
+    /// `sendto(2)` on a datagram socket (or `send` when connected, with
+    /// `dst == None`).
+    pub fn sendto(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        data: &[u8],
+        dst: Option<InetAddr>,
+    ) -> Result<usize, SocketError> {
+        let mode = this.borrow().mode;
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        // Library mode: an unbound UDP socket binds (and migrates)
+        // implicitly on first send, as BSD binds implicitly.
+        if matches!(mode, ApiMode::Library { .. }) {
+            if let Brief::Fresh = state {
+                AppLib::bind(this, sim, fd, 0)?;
+                return AppLib::sendto(this, sim, fd, data, dst);
+            }
+        }
+        match state {
+            Brief::Local(sock) => {
+                let stack = this.borrow().stack.clone().expect("local fd");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack
+                    .borrow_mut()
+                    .udp_send(sim, &mut charge, sock, data, dst);
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Kern(sock) => {
+                let (stack, ports, host_ip) = {
+                    let app = this.borrow();
+                    (
+                        app.stack.clone().expect("kernel stack"),
+                        app.kern_ports.clone().expect("kernel ports"),
+                        app.host_ip,
+                    )
+                };
+                let mut charge = this.borrow().begin(sim);
+                charge.crossing(
+                    Layer::EntryCopyin,
+                    SimTime::from_nanos(this.borrow().trap_entry()),
+                );
+                // Implicit bind.
+                if stack.borrow().local_addr(sock).map(|a| a.port).unwrap_or(0) == 0 {
+                    let port = ports.borrow_mut().claim(Proto::Udp, 0)?;
+                    stack
+                        .borrow_mut()
+                        .bind(sock, InetAddr::new(host_ip, port))?;
+                }
+                let res = stack
+                    .borrow_mut()
+                    .udp_send(sim, &mut charge, sock, data, dst);
+                charge.add_ns(Layer::CopyoutExit, this.borrow().trap_exit());
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Session(sid) => {
+                let server = this.borrow().server.clone().expect("session fd");
+                let mut charge = this.borrow().begin(sim);
+                this.borrow_mut().stats.data_rpcs += 1;
+                rpc_data_charge(
+                    &this.borrow().costs,
+                    &mut charge,
+                    Layer::EntryCopyin,
+                    data.len(),
+                );
+                let res = server
+                    .borrow_mut()
+                    .data_send_udp(sim, &mut charge, sid, data, dst);
+                this.borrow().finish(charge);
+                res
+            }
+            // (UDP datagrams are accepted or refused whole, so the RPC
+            // charge above is not conditional.)
+            Brief::Fresh => {
+                // Server-based: realize via bind(0) then retry.
+                if matches!(mode, ApiMode::ServerBased) {
+                    AppLib::bind(this, sim, fd, 0)?;
+                    AppLib::sendto(this, sim, fd, data, dst)
+                } else {
+                    Err(SocketError::NotConnected)
+                }
+            }
+        }
+    }
+
+    /// `recvfrom(2)` on a datagram socket.
+    pub fn recvfrom(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        buf: &mut [u8],
+    ) -> Result<(usize, InetAddr), SocketError> {
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        match state {
+            Brief::Local(sock) => {
+                let stack = this.borrow().stack.clone().expect("local fd");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().udp_recv(sim, &mut charge, sock, buf);
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Kern(sock) => {
+                let stack = this.borrow().stack.clone().expect("kernel stack");
+                let mut charge = this.borrow().begin(sim);
+                let res = stack.borrow_mut().udp_recv(sim, &mut charge, sock, buf);
+                if res.is_ok() {
+                    charge.crossing(
+                        Layer::CopyoutExit,
+                        SimTime::from_nanos(this.borrow().trap_exit()),
+                    );
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Session(sid) => {
+                let server = this.borrow().server.clone().expect("session fd");
+                let mut charge = this.borrow().begin(sim);
+                this.borrow_mut().stats.data_rpcs += 1;
+                let res = server
+                    .borrow_mut()
+                    .data_recv_udp(sim, &mut charge, sid, buf);
+                if let Ok((n, _)) = res {
+                    rpc_data_charge(&this.borrow().costs, &mut charge, Layer::CopyoutExit, n);
+                }
+                this.borrow().finish(charge);
+                res
+            }
+            Brief::Fresh => Err(SocketError::NotConnected),
+        }
+    }
+
+    // ----- NEWAPI (§4.2): shared application/protocol buffers -----
+
+    /// NEWAPI send: the protocol references the shared buffer instead
+    /// of copying it into the socket queue. Library mode only — the
+    /// optimization is precisely what a user-level stack makes
+    /// possible.
+    pub fn send_shared(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        data: Rc<Vec<u8>>,
+    ) -> Result<usize, SocketError> {
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        let Brief::Local(sock) = state else {
+            return Err(SocketError::OpNotSupp);
+        };
+        let proto = this.borrow().fds.get(&fd).expect("exists").proto;
+        let stack = this.borrow().stack.clone().expect("local fd");
+        let mut charge = this.borrow().begin(sim);
+        let res = match proto {
+            Proto::Tcp => stack
+                .borrow_mut()
+                .tcp_send_shared(sim, &mut charge, sock, data),
+            // The library UDP send path already references user data.
+            Proto::Udp => stack
+                .borrow_mut()
+                .udp_send(sim, &mut charge, sock, &data, None),
+        };
+        this.borrow().finish(charge);
+        res
+    }
+
+    /// NEWAPI receive: returns the buffered data as a chain sharing the
+    /// protocol's storage — no copy into a caller buffer. An empty
+    /// chain is end of file.
+    pub fn recv_shared(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        max: usize,
+    ) -> Result<MbufChain, SocketError> {
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        let Brief::Local(sock) = state else {
+            return Err(SocketError::OpNotSupp);
+        };
+        let proto = this.borrow().fds.get(&fd).expect("exists").proto;
+        let stack = this.borrow().stack.clone().expect("local fd");
+        let mut charge = this.borrow().begin(sim);
+        let res = match proto {
+            Proto::Tcp => stack
+                .borrow_mut()
+                .tcp_recv_chain(sim, &mut charge, sock, max),
+            Proto::Udp => stack
+                .borrow_mut()
+                .udp_recv_chain(sim, &mut charge, sock)
+                .map(|(chain, _)| chain),
+        };
+        this.borrow().finish(charge);
+        res
+    }
+}
+
+/// Collapsed descriptor state for dispatching data operations.
+enum Brief {
+    Local(psd_netstack::SockId),
+    Kern(psd_netstack::SockId),
+    Session(psd_server::SessionId),
+    Fresh,
+}
+
+impl FdState {
+    fn brief(&self) -> Brief {
+        match self {
+            FdState::Local { sock, .. } => Brief::Local(*sock),
+            FdState::Kern(sock) => Brief::Kern(*sock),
+            FdState::Session(sid) => Brief::Session(*sid),
+            FdState::Fresh(_) => Brief::Fresh,
+        }
+    }
+}
+
+/// The remaining BSD spellings of the data calls ("The BSD socket
+/// interface has ten different ways to move data through a session").
+/// Each is a thin veneer over the two core entry points, exactly as the
+/// BSD socket layer funnels them into `sosend`/`soreceive`.
+impl AppLib {
+    /// `write(2)`.
+    pub fn write(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        data: &[u8],
+    ) -> Result<usize, SocketError> {
+        AppLib::send(this, sim, fd, data)
+    }
+
+    /// `read(2)`.
+    pub fn read(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        buf: &mut [u8],
+    ) -> Result<usize, SocketError> {
+        AppLib::recv(this, sim, fd, buf)
+    }
+
+    /// `writev(2)`: gathers the iovec and sends. Returns bytes queued;
+    /// a short count means the send buffer filled mid-gather.
+    pub fn writev(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        iov: &[&[u8]],
+    ) -> Result<usize, SocketError> {
+        let mut total = 0;
+        for piece in iov {
+            match AppLib::send(this, sim, fd, piece) {
+                Ok(n) => {
+                    total += n;
+                    if n < piece.len() {
+                        break;
+                    }
+                }
+                Err(SocketError::WouldBlock) if total > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    /// `readv(2)`: scatters into the iovec. Returns bytes delivered.
+    pub fn readv(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        iov: &mut [&mut [u8]],
+    ) -> Result<usize, SocketError> {
+        let mut total = 0;
+        for piece in iov.iter_mut() {
+            match AppLib::recv(this, sim, fd, piece) {
+                Ok(0) => break,
+                Ok(n) => {
+                    total += n;
+                    if n < piece.len() {
+                        break;
+                    }
+                }
+                Err(SocketError::WouldBlock) if total > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    /// `sendmsg(2)` (data portion: gathered iovec plus an optional
+    /// destination).
+    pub fn sendmsg(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        iov: &[&[u8]],
+        dst: Option<InetAddr>,
+    ) -> Result<usize, SocketError> {
+        // Datagram semantics require one atomic message.
+        let flat: Vec<u8> = iov.concat();
+        AppLib::sendto(this, sim, fd, &flat, dst)
+    }
+
+    /// `recvmsg(2)` (data portion: scattered into the iovec, sender
+    /// address returned).
+    pub fn recvmsg(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        iov: &mut [&mut [u8]],
+    ) -> Result<(usize, InetAddr), SocketError> {
+        let total: usize = iov.iter().map(|p| p.len()).sum();
+        let mut flat = vec![0u8; total];
+        let (n, from) = AppLib::recvfrom(this, sim, fd, &mut flat)?;
+        let mut off = 0;
+        for piece in iov.iter_mut() {
+            if off >= n {
+                break;
+            }
+            let take = piece.len().min(n - off);
+            piece[..take].copy_from_slice(&flat[off..off + take]);
+            off += take;
+        }
+        Ok((n, from))
+    }
+}

@@ -1,0 +1,520 @@
+//! The application-level protocol library — the paper's primary
+//! contribution.
+//!
+//! An [`AppLib`] lives in one application's address space and exports
+//! the BSD socket programming interface through a *proxy* (§3.2,
+//! Table 1): calls are "either handled locally, forwarded untouched to
+//! the operating system server, or translated into an alternate
+//! sequence of calls on the operating system server".
+//!
+//! - **Send and receive run entirely in the application.** Once a
+//!   session has migrated in, `send`/`sendto`/`recv`/`recvfrom` (and
+//!   the other BSD variants, which are thin wrappers) call straight
+//!   into the application-linked [`NetStack`] — no protection boundary
+//!   is crossed except the packet send trap at the very bottom.
+//! - **Heavyweight operations go to the server.** `socket`, `bind`,
+//!   `connect`, `listen`, `accept` become `proxy_*` RPCs; `fork`
+//!   returns sessions to the server first; `close` migrates the
+//!   session back so the server can run the shutdown protocol.
+//! - **`select` is cooperative** (§3.2): locally-managed descriptors
+//!   are checked in the library; their status is reported to the
+//!   server with `proxy_status` so a single server-side `select` can
+//!   wait on both kinds at once. When every watched descriptor is
+//!   local, the server is not involved at all.
+//! - **Metastate is cached** (§3.3): routes and ARP entries arrive
+//!   with each migrated session and on demand via resolver RPCs; the
+//!   server invalidates them through callbacks.
+//!
+//! The same [`AppLib`] type also embodies the two baseline
+//! architectures the paper compares against, selected by [`ApiMode`]:
+//! `InKernel` drives a kernel-placement stack through traps (Mach 2.5 /
+//! Ultrix / 386BSD), and `ServerBased` forwards every operation,
+//! including data transfer, to the server over the four-copy RPC path
+//! (UX / BNR2SS). The three modes share every line of protocol code.
+
+pub mod control;
+pub mod data;
+pub mod select;
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::rc::{Rc, Weak};
+
+use psd_kernel::{EndpointId, KernelHandle, RxMode};
+use psd_netstack::stack::StackHandle;
+use psd_netstack::{InetAddr, NetStack, Placement, SockEvent, SockId};
+use psd_server::{PortNamespace, ProcId, Proto, ServerHandle, SessionId, UserNetIf};
+use psd_sim::{Charge, CostModel, Cpu, Sim, SimTime};
+
+pub use select::SelectOutcome;
+
+/// A file descriptor in the application.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fd(pub i32);
+
+/// Which protocol architecture this application runs against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApiMode {
+    /// Monolithic baseline: sockets live in the in-kernel stack; every
+    /// call is a trap.
+    InKernel,
+    /// Single-server baseline: sockets live in the operating system
+    /// server; every call — including send and receive — is an RPC.
+    ServerBased,
+    /// The paper's system: the critical path runs in this library;
+    /// sessions migrate in and out. `rx_mode` selects the §4.1
+    /// user/kernel receive interface (IPC, SHM, SHM-IPF).
+    Library {
+        /// Receive-path variant.
+        rx_mode: RxMode,
+    },
+}
+
+/// Per-descriptor event callback (the analogue of a blocked thread
+/// being woken: the application resumes the blocked operation).
+pub type FdEventFn = Rc<RefCell<dyn FnMut(&mut Sim, Fd, SockEvent)>>;
+
+pub(crate) enum FdState {
+    /// `socket()` has been called; nothing realized yet (the session
+    /// exists at the server in server/library modes).
+    Fresh(Option<SessionId>),
+    /// The session is server-resident; data moves by RPC.
+    Session(SessionId),
+    /// The session lives in this library's stack (migrated in).
+    Local {
+        session: Option<SessionId>,
+        sock: SockId,
+        endpoint: Rc<Cell<Option<EndpointId>>>,
+    },
+    /// A socket in the in-kernel stack (monolithic baseline).
+    Kern(SockId),
+}
+
+pub(crate) struct FdEntry {
+    pub proto: Proto,
+    pub state: FdState,
+}
+
+/// Counters for tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppStats {
+    /// Control RPCs issued (proxy calls).
+    pub control_rpcs: u64,
+    /// Data RPCs issued (server-based data path).
+    pub data_rpcs: u64,
+    /// Sessions migrated into this application.
+    pub migrations_in: u64,
+    /// Sessions returned to the server.
+    pub migrations_out: u64,
+    /// `proxy_status` notifications sent for select cooperation.
+    pub status_reports: u64,
+    /// ARP cache invalidations received from the server.
+    pub arp_invalidations: u64,
+}
+
+/// The application library.
+pub struct AppLib {
+    pub(crate) me: Weak<RefCell<AppLib>>,
+    pub(crate) mode: ApiMode,
+    pub(crate) costs: CostModel,
+    pub(crate) cpu: Rc<RefCell<Cpu>>,
+    pub(crate) kernel: KernelHandle,
+    pub(crate) server: Option<ServerHandle>,
+    pub(crate) proc: Option<ProcId>,
+    /// The protocol stack this library uses for local sessions: its own
+    /// (Library mode) or the host's in-kernel stack (InKernel mode).
+    pub(crate) stack: Option<StackHandle>,
+    /// Port namespace for the in-kernel baseline (shared per host).
+    pub(crate) kern_ports: Option<Rc<RefCell<PortNamespace>>>,
+    pub(crate) host_ip: Ipv4Addr,
+    pub(crate) fds: HashMap<Fd, FdEntry>,
+    pub(crate) next_fd: i32,
+    pub(crate) sock_to_fd: HashMap<SockId, Fd>,
+    pub(crate) session_to_fd: HashMap<SessionId, Fd>,
+    pub(crate) handlers: HashMap<Fd, FdEventFn>,
+    /// Listener → connections accepted by the server but not yet
+    /// claimed with `accept()`.
+    pub(crate) accept_ready: HashMap<Fd, Vec<Fd>>,
+    /// Listeners with an outstanding `proxy_accept`.
+    pub(crate) accept_pending: HashSet<Fd>,
+    /// Local descriptors currently watched by a select (their status
+    /// changes are reported to the server).
+    pub(crate) watched: HashSet<Fd>,
+    pub(crate) local_selects: Vec<select::LocalWaiter>,
+    /// Counters.
+    pub stats: AppStats,
+}
+
+/// Shared handle to an application library.
+pub type AppHandle = Rc<RefCell<AppLib>>;
+
+impl AppLib {
+    /// Creates an application in the decomposed (library) architecture.
+    pub fn new_library(kernel: &KernelHandle, server: &ServerHandle, rx_mode: RxMode) -> AppHandle {
+        let costs = kernel.borrow().costs().clone();
+        let cpu = kernel.borrow().cpu();
+        let host_ip = server.borrow().stack().borrow().ip_addr;
+        // The application links its own protocol stack.
+        let stack = NetStack::new(Placement::Library, costs.clone(), cpu.clone(), host_ip);
+        stack.borrow_mut().set_ifnet(UserNetIf::new(kernel.clone()));
+        let proc = server.borrow_mut().register_process();
+        let app = Rc::new(RefCell::new(AppLib {
+            me: Weak::new(),
+            mode: ApiMode::Library { rx_mode },
+            costs,
+            cpu,
+            kernel: kernel.clone(),
+            server: Some(server.clone()),
+            proc: Some(proc),
+            stack: Some(stack.clone()),
+            kern_ports: None,
+            host_ip,
+            fds: HashMap::new(),
+            next_fd: 3,
+            sock_to_fd: HashMap::new(),
+            session_to_fd: HashMap::new(),
+            handlers: HashMap::new(),
+            accept_ready: HashMap::new(),
+            accept_pending: HashSet::new(),
+            watched: HashSet::new(),
+            local_selects: Vec::new(),
+            stats: AppStats::default(),
+        }));
+        app.borrow_mut().me = Rc::downgrade(&app);
+
+        // The ARP resolver upcall: a control RPC to the server.
+        let weak_server = Rc::downgrade(server);
+        let weak_app = Rc::downgrade(&app);
+        stack
+            .borrow_mut()
+            .set_arp_resolver(Box::new(move |sim, charge, ip| {
+                let server = weak_server.upgrade()?;
+                if let Some(app) = weak_app.upgrade() {
+                    app.borrow_mut().stats.control_rpcs += 1;
+                }
+                psd_server::OsServer::proxy_arp_lookup(&server, sim, charge, ip)
+            }));
+
+        // Metastate invalidation callback (§3.3).
+        let weak_app = Rc::downgrade(&app);
+        let weak_stack = Rc::downgrade(&stack);
+        server
+            .borrow_mut()
+            .register_arp_listener(Rc::new(RefCell::new(
+                move |_sim: &mut Sim, ip: Ipv4Addr| {
+                    if let Some(stack) = weak_stack.upgrade() {
+                        stack.borrow_mut().arp.invalidate(ip);
+                    }
+                    if let Some(app) = weak_app.upgrade() {
+                        app.borrow_mut().stats.arp_invalidations += 1;
+                    }
+                },
+            )));
+
+        // Route local stack events to descriptors.
+        AppLib::install_stack_router(&app, &stack);
+        app
+    }
+
+    /// Creates an application in the server-based baseline.
+    pub fn new_server_based(kernel: &KernelHandle, server: &ServerHandle) -> AppHandle {
+        let costs = kernel.borrow().costs().clone();
+        let cpu = kernel.borrow().cpu();
+        let host_ip = server.borrow().stack().borrow().ip_addr;
+        let proc = server.borrow_mut().register_process();
+        let app = Rc::new(RefCell::new(AppLib {
+            me: Weak::new(),
+            mode: ApiMode::ServerBased,
+            costs,
+            cpu,
+            kernel: kernel.clone(),
+            server: Some(server.clone()),
+            proc: Some(proc),
+            stack: None,
+            kern_ports: None,
+            host_ip,
+            fds: HashMap::new(),
+            next_fd: 3,
+            sock_to_fd: HashMap::new(),
+            session_to_fd: HashMap::new(),
+            handlers: HashMap::new(),
+            accept_ready: HashMap::new(),
+            accept_pending: HashSet::new(),
+            watched: HashSet::new(),
+            local_selects: Vec::new(),
+            stats: AppStats::default(),
+        }));
+        app.borrow_mut().me = Rc::downgrade(&app);
+        app
+    }
+
+    /// Creates an application in the monolithic in-kernel baseline.
+    /// `kern_stack` and `kern_ports` are shared by every application on
+    /// the host.
+    pub fn new_inkernel(
+        kernel: &KernelHandle,
+        kern_stack: &StackHandle,
+        kern_ports: &Rc<RefCell<PortNamespace>>,
+    ) -> AppHandle {
+        let costs = kernel.borrow().costs().clone();
+        let cpu = kernel.borrow().cpu();
+        let host_ip = kern_stack.borrow().ip_addr;
+        let app = Rc::new(RefCell::new(AppLib {
+            me: Weak::new(),
+            mode: ApiMode::InKernel,
+            costs,
+            cpu,
+            kernel: kernel.clone(),
+            server: None,
+            proc: None,
+            stack: Some(kern_stack.clone()),
+            kern_ports: Some(kern_ports.clone()),
+            host_ip,
+            fds: HashMap::new(),
+            next_fd: 3,
+            sock_to_fd: HashMap::new(),
+            session_to_fd: HashMap::new(),
+            handlers: HashMap::new(),
+            accept_ready: HashMap::new(),
+            accept_pending: HashSet::new(),
+            watched: HashSet::new(),
+            local_selects: Vec::new(),
+            stats: AppStats::default(),
+        }));
+        app.borrow_mut().me = Rc::downgrade(&app);
+        AppLib::install_stack_router(&app, kern_stack);
+        app
+    }
+
+    /// The architecture this application runs against.
+    pub fn mode(&self) -> ApiMode {
+        self.mode
+    }
+
+    /// The server-side process identity, if any.
+    pub fn proc_id(&self) -> Option<ProcId> {
+        self.proc
+    }
+
+    /// This application's protocol stack, if it has one.
+    pub fn stack(&self) -> Option<StackHandle> {
+        self.stack.clone()
+    }
+
+    /// Registers the per-descriptor event handler.
+    pub fn set_event_handler(&mut self, fd: Fd, handler: FdEventFn) {
+        self.handlers.insert(fd, handler);
+    }
+
+    pub(crate) fn alloc_fd(&mut self, proto: Proto, state: FdState) -> Fd {
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        self.fds.insert(fd, FdEntry { proto, state });
+        fd
+    }
+
+    /// Opens a CPU charge cursor at the current time (for callers that
+    /// perform application-level work they want priced, e.g. benchmark
+    /// bookkeeping).
+    pub fn begin(&self, sim: &Sim) -> Charge {
+        self.cpu.borrow_mut().begin(sim.now())
+    }
+
+    /// Completes a charge cursor.
+    pub fn finish(&self, charge: Charge) {
+        self.cpu.borrow_mut().finish(charge);
+    }
+
+    /// Hooks the (library or kernel) stack's per-socket events into the
+    /// descriptor table. Sockets are registered lazily as fds bind to
+    /// them via [`AppLib::register_sock`].
+    fn install_stack_router(_app: &AppHandle, _stack: &StackHandle) {
+        // Routing is attached per-socket in `register_sock`; nothing
+        // global is needed.
+    }
+
+    /// Associates a stack socket with a descriptor, wiring event
+    /// routing: the stack's sink maps the socket back to the fd,
+    /// handles select cooperation, and invokes the user handler.
+    pub(crate) fn register_sock(this: &AppHandle, sock: SockId, fd: Fd) {
+        let stack = this
+            .borrow()
+            .stack
+            .clone()
+            .expect("register_sock requires a stack");
+        this.borrow_mut().sock_to_fd.insert(sock, fd);
+        let weak = Rc::downgrade(this);
+        stack.borrow_mut().set_sink(
+            sock,
+            Rc::new(RefCell::new(
+                move |sim: &mut Sim, sock: SockId, ev: SockEvent| {
+                    let Some(app) = weak.upgrade() else { return };
+                    AppLib::on_sock_event(&app, sim, sock, ev);
+                },
+            )),
+        );
+    }
+
+    fn on_sock_event(this: &AppHandle, sim: &mut Sim, sock: SockId, ev: SockEvent) {
+        let (fd, handler, report) = {
+            let app = this.borrow();
+            let Some(fd) = app.sock_to_fd.get(&sock).copied() else {
+                return;
+            };
+            let handler = app.handlers.get(&fd).cloned();
+            // Cooperative select: report status changes on watched
+            // local descriptors to the server (§3.2).
+            let report = app.watched.contains(&fd)
+                && matches!(ev, SockEvent::Readable | SockEvent::Writable);
+            (fd, handler, report)
+        };
+        if report {
+            AppLib::report_status(this, sim, fd);
+        }
+        select::rescan_local(this, sim);
+        if let Some(h) = handler {
+            h.borrow_mut()(sim, fd, ev);
+        }
+    }
+
+    /// Reports a local descriptor's readiness to the server
+    /// (`proxy_status`).
+    pub(crate) fn report_status(this: &AppHandle, sim: &mut Sim, fd: Fd) {
+        let (server, session, readable, writable) = {
+            let app = this.borrow();
+            let Some(server) = app.server.clone() else {
+                return;
+            };
+            let Some(entry) = app.fds.get(&fd) else {
+                return;
+            };
+            let FdState::Local {
+                session: Some(sid),
+                sock,
+                ..
+            } = &entry.state
+            else {
+                return;
+            };
+            let stack = app.stack.as_ref().expect("local fd has stack");
+            let st = stack.borrow();
+            (
+                server,
+                *sid,
+                st.readable(*sock) > 0 || st.at_eof(*sock),
+                st.writable(*sock) > 0,
+            )
+        };
+        this.borrow_mut().stats.status_reports += 1;
+        let charge = this.borrow().begin(sim);
+        let mut charge = charge;
+        psd_server::OsServer::proxy_status(&server, sim, &mut charge, session, readable, writable);
+        this.borrow().finish(charge);
+    }
+
+    /// Polls a descriptor's readiness without blocking.
+    pub fn poll(&self, fd: Fd) -> (bool, bool) {
+        let Some(entry) = self.fds.get(&fd) else {
+            return (false, false);
+        };
+        match &entry.state {
+            FdState::Local { sock, .. } | FdState::Kern(sock) => {
+                let stack = self.stack.as_ref().expect("local fd has stack");
+                let st = stack.borrow();
+                let accept_ready = self
+                    .accept_ready
+                    .get(&fd)
+                    .map(|q| !q.is_empty())
+                    .unwrap_or(false);
+                (
+                    st.readable(*sock) > 0 || st.at_eof(*sock) || accept_ready,
+                    st.writable(*sock) > 0,
+                )
+            }
+            FdState::Session(sid) => {
+                let accept_ready = self
+                    .accept_ready
+                    .get(&fd)
+                    .map(|q| !q.is_empty())
+                    .unwrap_or(false);
+                let server = self.server.as_ref().expect("session fd has server");
+                let (r, w) = server.borrow().data_poll(*sid);
+                (r > 0 || accept_ready, w > 0)
+            }
+            FdState::Fresh(_) => (false, false),
+        }
+    }
+
+    /// The descriptor's local endpoint.
+    pub fn local_addr(&self, fd: Fd) -> Option<InetAddr> {
+        match &self.fds.get(&fd)?.state {
+            FdState::Local { sock, .. } | FdState::Kern(sock) => {
+                self.stack.as_ref()?.borrow().local_addr(*sock)
+            }
+            FdState::Session(_) | FdState::Fresh(_) => None,
+        }
+    }
+
+    /// The descriptor's remote endpoint, if connected.
+    pub fn remote_addr(&self, fd: Fd) -> Option<InetAddr> {
+        match &self.fds.get(&fd)?.state {
+            FdState::Local { sock, .. } | FdState::Kern(sock) => {
+                self.stack.as_ref()?.borrow().remote_addr(*sock)
+            }
+            FdState::Session(_) | FdState::Fresh(_) => None,
+        }
+    }
+
+    /// Sets `TCP_NODELAY` on a local descriptor.
+    pub fn set_nodelay(&mut self, fd: Fd, nodelay: bool) {
+        if let Some(FdEntry {
+            state: FdState::Local { sock, .. } | FdState::Kern(sock),
+            ..
+        }) = self.fds.get(&fd)
+        {
+            if let Some(stack) = &self.stack {
+                stack.borrow_mut().set_nodelay(*sock, nodelay);
+            }
+        }
+    }
+
+    /// Resizes the receive buffer (`SO_RCVBUF`) — the knob the paper
+    /// tuned per configuration for Table 2.
+    pub fn set_recv_buffer(&mut self, fd: Fd, size: usize) {
+        if let Some(FdEntry {
+            state: FdState::Local { sock, .. } | FdState::Kern(sock),
+            ..
+        }) = self.fds.get(&fd)
+        {
+            if let Some(stack) = &self.stack {
+                stack.borrow_mut().set_recv_buffer(*sock, size);
+            }
+        }
+    }
+
+    /// True if the descriptor exists.
+    pub fn fd_exists(&self, fd: Fd) -> bool {
+        self.fds.contains_key(&fd)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_fds(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// The entry side of a data-path syscall. Table 4 charges most of
+    /// the trap to `entry/copyin` (kernel TCP: 50 µs entry vs 32 µs
+    /// exit), so the split is 80/20.
+    pub(crate) fn trap_entry(&self) -> u64 {
+        self.costs.trap * 8 / 10
+    }
+
+    /// The exit side of a data-path syscall.
+    pub(crate) fn trap_exit(&self) -> u64 {
+        self.costs.trap * 2 / 10
+    }
+}
+
+/// A timeout value for blocking-style operations.
+pub type Timeout = Option<SimTime>;

@@ -1,0 +1,183 @@
+//! Crate-level tests for the application library: descriptor lifecycle
+//! and mode-specific behaviour, against a hand-built host (no
+//! psd-systems, which depends on this crate).
+
+use psd_core::{ApiMode, AppLib};
+use psd_kernel::{Kernel, KernelHandle, RxMode};
+use psd_netdev::{Ethernet, EthernetHandle};
+use psd_netstack::{InetAddr, NetStack, Placement, RouteTable, SocketError};
+use psd_server::{KernelNetIf, OsServer, PortNamespace, Proto, ServerHandle};
+use psd_sim::{CostModel, Cpu, Sim};
+use psd_wire::EtherAddr;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+struct MiniHost {
+    kernel: KernelHandle,
+    server: ServerHandle,
+}
+
+fn mini_host(sim: &mut Sim, ether: &EthernetHandle, ip: Ipv4Addr, station: u32) -> MiniHost {
+    let cpu = Rc::new(RefCell::new(Cpu::new()));
+    let kernel = Kernel::new(
+        CostModel::decstation_5000_200(),
+        cpu,
+        EtherAddr::local(station),
+    );
+    Kernel::connect(&kernel, ether);
+    let server = OsServer::new(&kernel, ip);
+    server.borrow().stack().borrow_mut().routes = RouteTable::directly_attached(
+        Ipv4Addr::new(10, 0, 0, 0),
+        Ipv4Addr::new(255, 255, 255, 0),
+    );
+    let _ = sim;
+    MiniHost { kernel, server }
+}
+
+#[test]
+fn library_app_reports_mode_and_stack() {
+    let mut sim = Sim::new(1);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let host = mini_host(&mut sim, &ether, Ipv4Addr::new(10, 0, 0, 1), 1);
+    let app = AppLib::new_library(&host.kernel, &host.server, RxMode::Shm);
+    assert!(matches!(app.borrow().mode(), ApiMode::Library { .. }));
+    assert!(app.borrow().stack().is_some());
+    assert!(app.borrow().proc_id().is_some());
+    assert_eq!(app.borrow().open_fds(), 0);
+}
+
+#[test]
+fn descriptor_lifecycle_and_errors() {
+    let mut sim = Sim::new(2);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let host = mini_host(&mut sim, &ether, Ipv4Addr::new(10, 0, 0, 1), 1);
+    let app = AppLib::new_library(&host.kernel, &host.server, RxMode::Ipc);
+
+    let fd = AppLib::socket(&app, &mut sim, Proto::Udp);
+    assert!(app.borrow().fd_exists(fd));
+    assert_eq!(app.borrow().open_fds(), 1);
+
+    // Data calls on an unconnected/unbound TCP socket error out cleanly.
+    let tfd = AppLib::socket(&app, &mut sim, Proto::Tcp);
+    assert_eq!(
+        AppLib::send(&app, &mut sim, tfd, b"x").unwrap_err(),
+        SocketError::NotConnected
+    );
+    let mut buf = [0u8; 4];
+    assert_eq!(
+        AppLib::recv(&app, &mut sim, tfd, &mut buf).unwrap_err(),
+        SocketError::NotConnected
+    );
+    // Unknown descriptors are rejected.
+    assert_eq!(
+        AppLib::send(&app, &mut sim, psd_core::Fd(99), b"x").unwrap_err(),
+        SocketError::BadSocket
+    );
+
+    AppLib::close(&app, &mut sim, fd);
+    sim.run_to_idle();
+    assert!(!app.borrow().fd_exists(fd));
+    assert_eq!(app.borrow().open_fds(), 1);
+}
+
+#[test]
+fn bind_migrates_and_local_addr_is_visible() {
+    let mut sim = Sim::new(3);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let host = mini_host(&mut sim, &ether, Ipv4Addr::new(10, 0, 0, 1), 1);
+    let app = AppLib::new_library(&host.kernel, &host.server, RxMode::ShmIpf);
+    let fd = AppLib::socket(&app, &mut sim, Proto::Udp);
+    assert_eq!(app.borrow().local_addr(fd), None);
+    AppLib::bind(&app, &mut sim, fd, 4242).unwrap();
+    assert_eq!(
+        app.borrow().local_addr(fd),
+        Some(InetAddr::new(Ipv4Addr::new(10, 0, 0, 1), 4242))
+    );
+    // Ephemeral bind allocates from the server's namespace.
+    let fd2 = AppLib::socket(&app, &mut sim, Proto::Udp);
+    AppLib::bind(&app, &mut sim, fd2, 0).unwrap();
+    let port = app.borrow().local_addr(fd2).unwrap().port;
+    assert!((1024..=5000).contains(&port));
+}
+
+#[test]
+fn newapi_is_library_only() {
+    let mut sim = Sim::new(4);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let host = mini_host(&mut sim, &ether, Ipv4Addr::new(10, 0, 0, 1), 1);
+    let app = AppLib::new_server_based(&host.kernel, &host.server);
+    let fd = AppLib::socket(&app, &mut sim, Proto::Udp);
+    AppLib::bind(&app, &mut sim, fd, 4242).unwrap();
+    assert_eq!(
+        AppLib::send_shared(&app, &mut sim, fd, Rc::new(vec![1, 2, 3])).unwrap_err(),
+        SocketError::OpNotSupp
+    );
+    assert_eq!(
+        AppLib::recv_shared(&app, &mut sim, fd, 64).unwrap_err(),
+        SocketError::OpNotSupp
+    );
+}
+
+#[test]
+fn inkernel_app_drives_the_kernel_stack() {
+    let mut sim = Sim::new(5);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let cpu = Rc::new(RefCell::new(Cpu::new()));
+    let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu.clone(), EtherAddr::local(1));
+    Kernel::connect(&kernel, &ether);
+    let stack = NetStack::new(
+        Placement::Kernel,
+        CostModel::decstation_5000_200(),
+        cpu,
+        Ipv4Addr::new(10, 0, 0, 1),
+    );
+    stack.borrow_mut().set_ifnet(KernelNetIf::new(kernel.clone()));
+    stack.borrow_mut().routes = RouteTable::directly_attached(
+        Ipv4Addr::new(10, 0, 0, 0),
+        Ipv4Addr::new(255, 255, 255, 0),
+    );
+    let ports = Rc::new(RefCell::new(PortNamespace::new()));
+    let app = AppLib::new_inkernel(&kernel, &stack, &ports);
+    assert!(matches!(app.borrow().mode(), ApiMode::InKernel));
+
+    let fd = AppLib::socket(&app, &mut sim, Proto::Udp);
+    AppLib::bind(&app, &mut sim, fd, 7000).unwrap();
+    assert!(ports.borrow().in_use(Proto::Udp, 7000));
+    // Sending puts a frame on the wire via the kernel path (ARP first).
+    AppLib::sendto(
+        &app,
+        &mut sim,
+        fd,
+        b"out the door",
+        Some(InetAddr::new(Ipv4Addr::new(10, 0, 0, 2), 9)),
+    )
+    .unwrap();
+    sim.run_to_idle();
+    assert!(ether.borrow().stats().tx_frames >= 1, "ARP request went out");
+    // Closing releases the port.
+    AppLib::close(&app, &mut sim, fd);
+    assert!(!ports.borrow().in_use(Proto::Udp, 7000));
+}
+
+#[test]
+fn fork_requires_server_architecture() {
+    let mut sim = Sim::new(6);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let cpu = Rc::new(RefCell::new(Cpu::new()));
+    let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu.clone(), EtherAddr::local(1));
+    Kernel::connect(&kernel, &ether);
+    let stack = NetStack::new(
+        Placement::Kernel,
+        CostModel::decstation_5000_200(),
+        cpu,
+        Ipv4Addr::new(10, 0, 0, 1),
+    );
+    let ports = Rc::new(RefCell::new(PortNamespace::new()));
+    let app = AppLib::new_inkernel(&kernel, &stack, &ports);
+    let err = match AppLib::fork(&app, &mut sim) {
+        Err(e) => e,
+        Ok(_) => panic!("fork must fail in the in-kernel architecture"),
+    };
+    assert_eq!(err, SocketError::OpNotSupp);
+}

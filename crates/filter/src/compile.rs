@@ -1,0 +1,282 @@
+//! Compiling endpoint specifications to filter programs.
+//!
+//! The operating system server installs one program per network session
+//! (§3.1: "The operating system creates and installs a new packet filter
+//! for each network session"). A program accepts exactly the unfragmented
+//! IPv4 packets of the session's protocol addressed to the session's
+//! local endpoint — and, for connected sessions, from its remote
+//! endpoint. Fragmented packets and packets with IP options never match
+//! a session filter; they fall through to the operating system's
+//! catch-all, which owns reassembly and the exceptional cases.
+
+use crate::vm::{Binop, Insn, Program};
+use psd_wire::IpProto;
+use std::net::Ipv4Addr;
+
+// Byte offsets within an Ethernet frame, assuming a 20-byte IP header
+// (the version/IHL check guarantees this before any later field is
+// consulted).
+const OFF_ETHERTYPE: u16 = 12;
+const OFF_VER_IHL: u16 = 14;
+const OFF_FRAG: u16 = 20;
+const OFF_TTL_PROTO: u16 = 22;
+const OFF_SRC_IP: u16 = 26;
+const OFF_DST_IP: u16 = 30;
+const OFF_SRC_PORT: u16 = 34;
+const OFF_DST_PORT: u16 = 36;
+
+/// A network-session endpoint, the unit of packet-filter installation.
+///
+/// Matches the paper's session 3-tuple: protocol, local endpoint, and
+/// (for connected sessions) remote endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EndpointSpec {
+    /// Transport protocol (TCP or UDP).
+    pub proto: IpProto,
+    /// Local IP address packets must be addressed to.
+    pub local_ip: Ipv4Addr,
+    /// Local port packets must be addressed to.
+    pub local_port: u16,
+    /// Remote endpoint, present for connected sessions. A connected
+    /// filter is more specific and takes precedence over a wildcard one.
+    pub remote: Option<(Ipv4Addr, u16)>,
+}
+
+impl EndpointSpec {
+    /// A wildcard (unconnected) endpoint.
+    pub fn unconnected(proto: IpProto, local_ip: Ipv4Addr, local_port: u16) -> EndpointSpec {
+        EndpointSpec {
+            proto,
+            local_ip,
+            local_port,
+            remote: None,
+        }
+    }
+
+    /// A connected endpoint.
+    pub fn connected(
+        proto: IpProto,
+        local_ip: Ipv4Addr,
+        local_port: u16,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+    ) -> EndpointSpec {
+        EndpointSpec {
+            proto,
+            local_ip,
+            local_port,
+            remote: Some((remote_ip, remote_port)),
+        }
+    }
+
+    /// Specificity for match ordering: connected filters beat wildcards.
+    pub fn specificity(&self) -> u8 {
+        if self.remote.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+fn check_word(insns: &mut Vec<Insn>, off: u16, value: u16) {
+    insns.push(Insn::PushWord(off));
+    insns.push(Insn::PushLit(value));
+    insns.push(Insn::CombineAnd(Binop::Eq));
+}
+
+fn check_word_masked(insns: &mut Vec<Insn>, off: u16, mask: u16, value: u16) {
+    insns.push(Insn::PushWord(off));
+    insns.push(Insn::PushLit(mask));
+    insns.push(Insn::Op(Binop::And));
+    insns.push(Insn::PushLit(value));
+    insns.push(Insn::CombineAnd(Binop::Eq));
+}
+
+fn check_ip(insns: &mut Vec<Insn>, off: u16, addr: Ipv4Addr) {
+    let v = u32::from(addr);
+    check_word(insns, off, (v >> 16) as u16);
+    check_word(insns, off + 2, (v & 0xFFFF) as u16);
+}
+
+/// The shared prefix every session filter begins with: IPv4, no options,
+/// not a fragment. The MPF demux strategy runs this once per packet.
+pub fn session_prefix() -> Vec<Insn> {
+    let mut insns = Vec::new();
+    // Ethertype is IPv4.
+    check_word(&mut insns, OFF_ETHERTYPE, 0x0800);
+    // Version 4, IHL 5 (no options); the TOS byte is masked off.
+    check_word_masked(&mut insns, OFF_VER_IHL, 0xFF00, 0x4500);
+    // Not a fragment: MF clear and offset zero.
+    check_word_masked(&mut insns, OFF_FRAG, 0x3FFF, 0x0000);
+    insns
+}
+
+/// Compiles an endpoint specification into a filter program.
+pub fn compile_endpoint(spec: &EndpointSpec) -> Program {
+    let mut insns = session_prefix();
+    // Transport protocol (low byte of the TTL/protocol word).
+    check_word_masked(
+        &mut insns,
+        OFF_TTL_PROTO,
+        0x00FF,
+        u16::from(spec.proto.to_u8()),
+    );
+    // Local (destination) endpoint.
+    check_ip(&mut insns, OFF_DST_IP, spec.local_ip);
+    check_word(&mut insns, OFF_DST_PORT, spec.local_port);
+    // Remote (source) endpoint for connected sessions.
+    if let Some((rip, rport)) = spec.remote {
+        check_ip(&mut insns, OFF_SRC_IP, rip);
+        check_word(&mut insns, OFF_SRC_PORT, rport);
+    }
+    insns.push(Insn::PushLit(1));
+    insns.push(Insn::Ret);
+    Program::new(insns)
+}
+
+/// The operating system's catch-all: accepts all IPv4 and ARP traffic.
+/// Installed for the server, which handles ARP, fragments, ICMP and any
+/// session not migrated to an application.
+pub fn catch_all_ip() -> Program {
+    Program::new(vec![
+        Insn::PushWord(OFF_ETHERTYPE),
+        Insn::PushLit(0x0800),
+        Insn::CombineOr(Binop::Eq),
+        Insn::PushWord(OFF_ETHERTYPE),
+        Insn::PushLit(0x0806),
+        Insn::CombineOr(Binop::Eq),
+        Insn::PushLit(0),
+        Insn::Ret,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_wire::{EtherAddr, EtherType, EthernetHeader, Ipv4Header, UdpHeader, UDP_HDR_LEN};
+
+    fn udp_frame(src: (Ipv4Addr, u16), dst: (Ipv4Addr, u16), payload: &[u8]) -> Vec<u8> {
+        let ip = Ipv4Header::new(src.0, dst.0, IpProto::Udp, UDP_HDR_LEN + payload.len());
+        let udp = UdpHeader::new(src.1, dst.1, payload.len());
+        let eth = EthernetHeader {
+            dst: EtherAddr::local(2),
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&ip.encode());
+        f.extend_from_slice(&udp.encode());
+        f.extend_from_slice(payload);
+        f
+    }
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+    #[test]
+    fn wildcard_matches_any_sender() {
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Udp, B, 7000));
+        assert!(p.run(&udp_frame((A, 1234), (B, 7000), b"x")).accepted);
+        assert!(p.run(&udp_frame((C, 9), (B, 7000), b"x")).accepted);
+    }
+
+    #[test]
+    fn wildcard_rejects_wrong_port_or_ip() {
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Udp, B, 7000));
+        assert!(!p.run(&udp_frame((A, 1234), (B, 7001), b"x")).accepted);
+        assert!(!p.run(&udp_frame((A, 1234), (C, 7000), b"x")).accepted);
+    }
+
+    #[test]
+    fn connected_matches_only_remote() {
+        let p = compile_endpoint(&EndpointSpec::connected(IpProto::Udp, B, 7000, A, 1234));
+        assert!(p.run(&udp_frame((A, 1234), (B, 7000), b"x")).accepted);
+        assert!(!p.run(&udp_frame((A, 4321), (B, 7000), b"x")).accepted);
+        assert!(!p.run(&udp_frame((C, 1234), (B, 7000), b"x")).accepted);
+    }
+
+    #[test]
+    fn wrong_protocol_rejected() {
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Tcp, B, 7000));
+        assert!(!p.run(&udp_frame((A, 1), (B, 7000), b"x")).accepted);
+    }
+
+    #[test]
+    fn fragments_never_match_session_filters() {
+        let mut ip = Ipv4Header::new(A, B, IpProto::Udp, 100);
+        ip.more_fragments = true;
+        let eth = EthernetHeader {
+            dst: EtherAddr::local(2),
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&ip.encode());
+        f.extend_from_slice(&[0u8; 100]);
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Udp, B, 0));
+        assert!(!p.run(&f).accepted);
+        // But the catch-all takes it.
+        assert!(catch_all_ip().run(&f).accepted);
+    }
+
+    #[test]
+    fn catch_all_accepts_arp() {
+        let eth = EthernetHeader {
+            dst: EtherAddr::BROADCAST,
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Arp,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&[0u8; 28]);
+        assert!(catch_all_ip().run(&f).accepted);
+    }
+
+    #[test]
+    fn catch_all_rejects_unknown_ethertype() {
+        let eth = EthernetHeader {
+            dst: EtherAddr::BROADCAST,
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Other(0x1234),
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&[0u8; 28]);
+        assert!(!catch_all_ip().run(&f).accepted);
+    }
+
+    #[test]
+    fn short_frames_rejected_safely() {
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Udp, B, 7000));
+        for len in 0..40 {
+            let frame = vec![0u8; len];
+            assert!(!p.run(&frame).accepted, "len {len}");
+        }
+    }
+
+    #[test]
+    fn connected_is_more_specific() {
+        let wild = EndpointSpec::unconnected(IpProto::Udp, B, 1);
+        let conn = EndpointSpec::connected(IpProto::Udp, B, 1, A, 2);
+        assert!(conn.specificity() > wild.specificity());
+    }
+
+    #[test]
+    fn tos_bits_do_not_defeat_filter() {
+        // A frame with nonzero TOS must still match.
+        let mut ip = Ipv4Header::new(A, B, IpProto::Udp, UDP_HDR_LEN + 1);
+        ip.tos = 0x10;
+        let udp = UdpHeader::new(1234, 7000, 1);
+        let eth = EthernetHeader {
+            dst: EtherAddr::local(2),
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&ip.encode());
+        f.extend_from_slice(&udp.encode());
+        f.push(0);
+        let p = compile_endpoint(&EndpointSpec::unconnected(IpProto::Udp, B, 7000));
+        assert!(p.run(&f).accepted);
+    }
+}

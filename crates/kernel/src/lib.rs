@@ -1,0 +1,1007 @@
+//! The simulated microkernel: the user/kernel network interface.
+//!
+//! The paper's kernel "exports a packet send and receive interface"
+//! (Figure 1). This crate provides it:
+//!
+//! - **Send**: [`Kernel::send_from_user`] is the low-latency system call
+//!   applications use to transmit ("Applications send packets directly
+//!   to the network interface using a low-latency system call"); it
+//!   traps, copies the frame into a wired kernel buffer, and copies it
+//!   to the device. [`Kernel::send_from_kernel`] is the in-kernel
+//!   stack's path, which skips the trap and user copy.
+//! - **Receive**: the kernel fields the device interrupt, demultiplexes
+//!   with the installed per-session packet filters
+//!   ([`psd_filter::DemuxTable`]), and delivers to the owning endpoint
+//!   through one of three paths ([`RxMode`]):
+//!   [`RxMode::Ipc`] (one Mach IPC message per packet),
+//!   [`RxMode::Shm`] (copy into a ring shared with the application,
+//!   lightweight wakeup amortized over packet trains), and
+//!   [`RxMode::ShmIpf`] (the device-integrated filter: the body copy is
+//!   deferred past demultiplexing and goes *directly* from device memory
+//!   into the shared ring, eliminating the intermediate kernel-buffer
+//!   copy).
+//! - **RPC**: [`rpc_data_charge`] prices the four-copy Mach RPC data
+//!   path the server-based configuration pays on every send and receive.
+//!
+//! Every boundary crossing and copy is charged to the host CPU through
+//! the calibrated [`CostModel`]; the crossings are recorded on the
+//! latency probe so Table 4's asterisks can be regenerated.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
+use psd_netdev::{Ethernet, EthernetHandle, Station};
+use psd_sim::{Charge, CostModel, Cpu, Layer, Sim, SimTime};
+use psd_wire::EtherAddr;
+
+/// How packets reach an endpoint's address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RxMode {
+    /// Each packet is delivered in its own IPC message (baseline).
+    Ipc,
+    /// Packets are copied into a shared-memory ring; the receiving
+    /// thread is signalled only when idle, amortizing scheduling over
+    /// packet trains.
+    Shm,
+    /// As [`RxMode::Shm`], with the filter integrated into the device
+    /// driver: the packet body is copied once, from device memory
+    /// directly into the ring (no intermediate kernel buffer).
+    ShmIpf,
+    /// The endpoint is the in-kernel protocol stack: input runs at
+    /// interrupt level in the same charge, no boundary is crossed, and
+    /// demultiplexing is a pcb lookup rather than a filter program.
+    InKernel,
+}
+
+impl RxMode {
+    /// True for the shared-memory variants.
+    pub fn is_shm(self) -> bool {
+        matches!(self, RxMode::Shm | RxMode::ShmIpf)
+    }
+}
+
+/// A receive endpoint identifier (one per installed session, plus the
+/// operating system's catch-all).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EndpointId(pub u64);
+
+/// Packet sink: invoked (via a scheduled event, never synchronously
+/// within kernel context) with each delivered frame. The sink opens its
+/// own CPU charge; the `SimTime` argument is when the packet became
+/// available to the domain.
+pub type PacketSink = Rc<RefCell<dyn FnMut(&mut Sim, SimTime, Vec<u8>)>>;
+
+/// In-kernel sink: invoked synchronously at interrupt level with the
+/// open receive charge (the in-kernel protocol stack).
+pub type InKernelSink = Rc<RefCell<dyn FnMut(&mut Sim, &mut Charge, Vec<u8>)>>;
+
+enum Sink {
+    Async(PacketSink),
+    InKernel(InKernelSink),
+}
+
+struct Endpoint {
+    mode: RxMode,
+    sink: Sink,
+    /// For SHM modes: when the receiving network thread will next check
+    /// the ring; arrivals before this need no wakeup.
+    thread_busy_until: SimTime,
+    filter: Option<FilterId>,
+}
+
+/// Counters for the kernel network interface.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Frames transmitted for user tasks.
+    pub tx_user: u64,
+    /// Frames transmitted for the in-kernel stack.
+    pub tx_kernel: u64,
+    /// Frames received from the wire.
+    pub rx_frames: u64,
+    /// Frames delivered to a session endpoint.
+    pub rx_session: u64,
+    /// Frames delivered to the default (operating system) endpoint.
+    pub rx_default: u64,
+    /// Frames dropped because no endpoint claimed them.
+    pub rx_unclaimed: u64,
+    /// Wakeups skipped because the receiving thread was already busy
+    /// (the SHM amortization).
+    pub wakeups_amortized: u64,
+    /// User transmissions rejected by the outbound packet limiter.
+    pub tx_rejected: u64,
+}
+
+/// The simulated kernel for one host.
+pub struct Kernel {
+    me: std::rc::Weak<RefCell<Kernel>>,
+    costs: CostModel,
+    cpu: Rc<RefCell<Cpu>>,
+    mac: EtherAddr,
+    ether: Option<EthernetHandle>,
+    demux: DemuxTable<EndpointId>,
+    endpoints: HashMap<EndpointId, Endpoint>,
+    default_endpoint: Option<EndpointId>,
+    next_endpoint: u64,
+    /// Optional outbound packet limiter (§3.4): "a packet limiting
+    /// mechanism, if desired, could be implemented by checking each
+    /// outgoing packet using a service similar to the packet filter."
+    tx_limiter: Option<psd_filter::Program>,
+    stats: KernelStats,
+}
+
+/// Shared handle to a [`Kernel`].
+pub type KernelHandle = Rc<RefCell<Kernel>>;
+
+impl Kernel {
+    /// Creates a kernel with the given cost model and MAC address.
+    pub fn new(costs: CostModel, cpu: Rc<RefCell<Cpu>>, mac: EtherAddr) -> KernelHandle {
+        let handle = Rc::new(RefCell::new(Kernel {
+            me: std::rc::Weak::new(),
+            costs,
+            cpu,
+            mac,
+            ether: None,
+            demux: DemuxTable::new(DemuxStrategy::Mpf),
+            endpoints: HashMap::new(),
+            default_endpoint: None,
+            next_endpoint: 1,
+            tx_limiter: None,
+            stats: KernelStats::default(),
+        }));
+        handle.borrow_mut().me = Rc::downgrade(&handle);
+        handle
+    }
+
+    /// Selects the demultiplexing strategy (default: MPF). Must be
+    /// called before filters are installed.
+    pub fn set_demux_strategy(&mut self, strategy: DemuxStrategy) {
+        assert!(
+            self.demux.is_empty(),
+            "cannot change strategy with installed filters"
+        );
+        self.demux = DemuxTable::new(strategy);
+    }
+
+    /// Attaches the kernel to an Ethernet segment. The caller must also
+    /// attach the same handle as a [`Station`] on the segment.
+    pub fn connect(this: &KernelHandle, ether: &EthernetHandle) {
+        this.borrow_mut().ether = Some(ether.clone());
+        ether.borrow_mut().attach(this.clone());
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The host CPU.
+    pub fn cpu(&self) -> Rc<RefCell<Cpu>> {
+        self.cpu.clone()
+    }
+
+    /// This interface's MAC address.
+    pub fn mac(&self) -> EtherAddr {
+        self.mac
+    }
+
+    /// Interface counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    // --- Endpoint and filter management (invoked by the OS server) ---
+
+    /// Creates a receive endpoint with an asynchronous delivery path.
+    pub fn create_endpoint(&mut self, mode: RxMode, sink: PacketSink) -> EndpointId {
+        assert!(mode != RxMode::InKernel, "use create_inkernel_endpoint");
+        let id = EndpointId(self.next_endpoint);
+        self.next_endpoint += 1;
+        self.endpoints.insert(
+            id,
+            Endpoint {
+                mode,
+                sink: Sink::Async(sink),
+                thread_busy_until: SimTime::ZERO,
+                filter: None,
+            },
+        );
+        id
+    }
+
+    /// Creates the in-kernel stack endpoint (synchronous, interrupt
+    /// level).
+    pub fn create_inkernel_endpoint(&mut self, sink: InKernelSink) -> EndpointId {
+        let id = EndpointId(self.next_endpoint);
+        self.next_endpoint += 1;
+        self.endpoints.insert(
+            id,
+            Endpoint {
+                mode: RxMode::InKernel,
+                sink: Sink::InKernel(sink),
+                thread_busy_until: SimTime::ZERO,
+                filter: None,
+            },
+        );
+        id
+    }
+
+    /// Destroys an endpoint, removing any filter that targets it.
+    pub fn destroy_endpoint(&mut self, id: EndpointId) {
+        if let Some(ep) = self.endpoints.remove(&id) {
+            if let Some(fid) = ep.filter {
+                self.demux.remove(fid);
+            }
+        }
+        if self.default_endpoint == Some(id) {
+            self.default_endpoint = None;
+        }
+    }
+
+    /// Marks an endpoint as the default receiver for packets no session
+    /// filter claims (the operating system server, or the in-kernel
+    /// stack in monolithic configurations).
+    pub fn set_default_endpoint(&mut self, id: EndpointId) {
+        assert!(self.endpoints.contains_key(&id), "unknown endpoint");
+        self.default_endpoint = Some(id);
+    }
+
+    /// Installs a session packet filter routing `spec` to `endpoint`.
+    /// Only the operating system may call this (§3.1: the OS creates
+    /// and installs a new packet filter for each network session).
+    pub fn install_filter(&mut self, spec: EndpointSpec, endpoint: EndpointId) -> FilterId {
+        assert!(self.endpoints.contains_key(&endpoint), "unknown endpoint");
+        let fid = self.demux.install(spec, endpoint);
+        if let Some(ep) = self.endpoints.get_mut(&endpoint) {
+            ep.filter = Some(fid);
+        }
+        fid
+    }
+
+    /// Removes a session filter.
+    pub fn remove_filter(&mut self, id: FilterId) -> bool {
+        for ep in self.endpoints.values_mut() {
+            if ep.filter == Some(id) {
+                ep.filter = None;
+            }
+        }
+        self.demux.remove(id)
+    }
+
+    /// Retargets a session filter to a different endpoint — the atomic
+    /// switch used when a session migrates between the operating system
+    /// and an application.
+    pub fn retarget_filter(&mut self, id: FilterId, endpoint: EndpointId) -> Option<FilterId> {
+        let spec = self.demux.spec(id)?;
+        self.demux.remove(id);
+        Some(self.install_filter(spec, endpoint))
+    }
+
+    // --- Transmit paths ---
+
+    /// Transmit on behalf of a user task: a trap plus a copy of the
+    /// frame from user space into a wired kernel buffer, then the copy
+    /// into device memory. (§4.3: "the protocol code traps into the
+    /// kernel and copies the packet from user space into a wired kernel
+    /// buffer before copying it to device memory".)
+    pub fn send_from_user(this: &KernelHandle, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>) {
+        let (trap, kcopy, devw) = {
+            let k = this.borrow();
+            (k.costs.trap, k.costs.kcopy_byte, k.costs.dev_write_byte)
+        };
+        charge.crossing(Layer::EtherOutput, SimTime::from_nanos(trap));
+        charge.add_per_byte(Layer::EtherOutput, kcopy, frame.len());
+        // Outbound packet limiter (§3.4), if installed: the frame is
+        // checked after the copy into the wired buffer, before it
+        // reaches the device.
+        {
+            let mut k = this.borrow_mut();
+            if let Some(limiter) = &k.tx_limiter {
+                let out = limiter.run(&frame);
+                charge.add_ns(Layer::EtherOutput, k.costs.filter_insn * out.steps as u64);
+                if !out.accepted {
+                    k.stats.tx_rejected += 1;
+                    return;
+                }
+            }
+        }
+        charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
+        Kernel::enqueue_tx(this, sim, charge.at(), frame, true);
+    }
+
+    /// Installs (or clears) the outbound packet limiter: a filter
+    /// program that every user-originated frame must satisfy. The §3.4
+    /// extension — not part of the measured system, priced like the
+    /// receive filter when enabled.
+    pub fn set_tx_limiter(&mut self, program: Option<psd_filter::Program>) {
+        self.tx_limiter = program;
+    }
+
+    /// Transmit for the in-kernel stack: the mbuf chain is already
+    /// wired, so only the device copy is paid.
+    pub fn send_from_kernel(
+        this: &KernelHandle,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        frame: Vec<u8>,
+    ) {
+        let devw = this.borrow().costs.dev_write_byte;
+        charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
+        Kernel::enqueue_tx(this, sim, charge.at(), frame, false);
+    }
+
+    /// Hands a fully charged frame to the wire at `ready`. Entirely
+    /// event-scheduled, so it is safe to call from any context —
+    /// including interrupt handlers where the kernel itself is
+    /// currently borrowed.
+    pub fn enqueue_tx(
+        this: &KernelHandle,
+        sim: &mut Sim,
+        ready: SimTime,
+        frame: Vec<u8>,
+        from_user: bool,
+    ) {
+        let kernel = this.clone();
+        sim.at(ready, move |sim| {
+            let ether = {
+                let mut k = kernel.borrow_mut();
+                if from_user {
+                    k.stats.tx_user += 1;
+                } else {
+                    k.stats.tx_kernel += 1;
+                }
+                k.ether.clone().expect("kernel not connected to a segment")
+            };
+            Ethernet::transmit(&ether, sim, sim.now(), frame);
+        });
+    }
+}
+
+impl Station for Kernel {
+    fn mac(&self) -> EtherAddr {
+        self.mac
+    }
+
+    fn frame_arrived(&mut self, sim: &mut Sim, frame: Vec<u8>) {
+        self.stats.rx_frames += 1;
+        let mut charge = self.cpu.borrow_mut().begin(sim.now());
+        // Field the interrupt.
+        charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_dispatch);
+        if self.costs.intr_penalty > 0 {
+            charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_penalty);
+        }
+
+        // Classify. The in-kernel endpoint short-circuits the filter:
+        // the monolithic kernel demuxes with a pcb lookup after copying
+        // the packet out of the device.
+        let default = self.default_endpoint;
+        let default_is_inkernel = default
+            .and_then(|id| self.endpoints.get(&id))
+            .map(|ep| ep.mode == RxMode::InKernel)
+            .unwrap_or(false);
+
+        if default_is_inkernel && self.demux.is_empty() {
+            let id = default.expect("checked above");
+            // Copy device → wired kernel buffer at interrupt level.
+            charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
+            charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
+            // netisr dispatch + in-kernel demux.
+            charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
+            charge.add_ns(Layer::NetisrPacketFilter, self.costs.pcb_lookup);
+            self.stats.rx_default += 1;
+            let ep = self.endpoints.get(&id).expect("endpoint exists");
+            if let Sink::InKernel(sink) = &ep.sink {
+                let sink = sink.clone();
+                // Synchronous input at interrupt level, same charge.
+                sink.borrow_mut()(sim, &mut charge, frame);
+            }
+            let cpu = self.cpu.clone();
+            cpu.borrow_mut().finish(charge);
+            return;
+        }
+
+        // Filtered paths. Does any installed session filter use the
+        // integrated (IPF) discipline? If so the classification runs on
+        // the packet header in device memory and the body copy is
+        // deferred; otherwise the whole packet is first copied into a
+        // kernel buffer (§4.1).
+        let any_ipf = self.endpoints.values().any(|ep| ep.mode == RxMode::ShmIpf);
+        if !any_ipf {
+            charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
+            charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
+        }
+
+        charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
+        let result = self.demux.classify(&frame);
+        charge.add_ns(
+            Layer::NetisrPacketFilter,
+            self.costs.filter_insn * result.steps as u64,
+        );
+
+        let target = match result.owner {
+            Some((_, id)) => {
+                self.stats.rx_session += 1;
+                Some(id)
+            }
+            None => {
+                if default.is_some() {
+                    self.stats.rx_default += 1;
+                } else {
+                    self.stats.rx_unclaimed += 1;
+                }
+                default
+            }
+        };
+        let Some(id) = target else {
+            let cpu = self.cpu.clone();
+            cpu.borrow_mut().finish(charge);
+            return;
+        };
+        let Some(ep) = self.endpoints.get_mut(&id) else {
+            let cpu = self.cpu.clone();
+            cpu.borrow_mut().finish(charge);
+            return;
+        };
+
+        match ep.mode {
+            RxMode::InKernel => {
+                // A session filter targeted the in-kernel stack (mixed
+                // configurations): same synchronous treatment, but the
+                // device copy was already made above.
+                if let Sink::InKernel(sink) = &ep.sink {
+                    let sink = sink.clone();
+                    sink.borrow_mut()(sim, &mut charge, frame);
+                }
+            }
+            RxMode::Ipc => {
+                // One IPC message per packet: copy into the message and
+                // out in the receiver, plus a scheduling wakeup.
+                charge.crossing(
+                    Layer::KernelCopyout,
+                    SimTime::from_nanos(self.costs.ipc_oneway),
+                );
+                charge.add_per_byte(
+                    Layer::KernelCopyout,
+                    self.costs.kcopy_cached_byte,
+                    frame.len(),
+                );
+                charge.add_ns(Layer::KernelCopyout, self.costs.sched_wakeup);
+                if let Sink::Async(sink) = &ep.sink {
+                    let sink = sink.clone();
+                    let at = charge.at();
+                    sim.at(at, move |sim| {
+                        let t = sim.now();
+                        sink.borrow_mut()(sim, t, frame);
+                    });
+                }
+            }
+            RxMode::Shm | RxMode::ShmIpf => {
+                if ep.mode == RxMode::ShmIpf {
+                    // Deferred single copy: device memory → shared ring.
+                    // No wired kernel buffer is set up — that is the
+                    // point of the integrated filter; only the ring
+                    // descriptor is allocated.
+                    charge.crossing(
+                        Layer::KernelCopyout,
+                        SimTime::from_nanos(self.costs.mbuf_alloc * 2),
+                    );
+                    charge.add_per_byte(
+                        Layer::KernelCopyout,
+                        self.costs.dev_read_byte,
+                        frame.len(),
+                    );
+                } else {
+                    // Second copy: kernel buffer → shared ring. The
+                    // source is cache-warm kernel memory.
+                    charge.crossing(
+                        Layer::KernelCopyout,
+                        SimTime::from_nanos(self.costs.mbuf_alloc),
+                    );
+                    charge.add_per_byte(
+                        Layer::KernelCopyout,
+                        self.costs.kcopy_cached_byte,
+                        frame.len(),
+                    );
+                }
+                // The wakeup decision must be taken when the data lands
+                // in the ring, after earlier deliveries have advanced
+                // the thread's busy window — so it is deferred into an
+                // event rather than decided with the stale state
+                // visible at interrupt time.
+                let ready = charge.at();
+                let me = self.me.clone();
+                sim.at(ready, move |sim| {
+                    let Some(kernel) = me.upgrade() else { return };
+                    let now = sim.now();
+                    // This event runs after `frame_arrived` returned, so
+                    // re-borrowing the kernel here cannot conflict.
+                    let (sink, at) = {
+                        let mut k = kernel.borrow_mut();
+                        let sched_wakeup = k.costs.sched_wakeup;
+                        let cpu = k.cpu.clone();
+                        let Some(busy_until) = k.endpoints.get(&id).map(|e| e.thread_busy_until)
+                        else {
+                            return;
+                        };
+                        let at;
+                        if now >= busy_until {
+                            // The network thread is idle: signal it
+                            // (condition variable + scheduling).
+                            let mut c = cpu.borrow_mut().begin(now);
+                            c.add_ns(Layer::KernelCopyout, sched_wakeup);
+                            at = cpu.borrow_mut().finish(c);
+                            k.endpoints
+                                .get_mut(&id)
+                                .expect("checked above")
+                                .thread_busy_until = at;
+                        } else {
+                            // Thread still draining the ring: it picks
+                            // this packet up with no further scheduling
+                            // — the amortization the SHM interface
+                            // exists for.
+                            at = busy_until;
+                            k.stats.wakeups_amortized += 1;
+                        }
+                        let Some(ep) = k.endpoints.get(&id) else {
+                            return;
+                        };
+                        let Sink::Async(sink) = &ep.sink else { return };
+                        (sink.clone(), at)
+                    };
+                    sim.at(at, move |sim| {
+                        let t = sim.now();
+                        sink.borrow_mut()(sim, t, frame);
+                    });
+                });
+            }
+        }
+        let cpu = self.cpu.clone();
+        cpu.borrow_mut().finish(charge);
+    }
+}
+
+/// Reports how long the endpoint's network thread will stay busy, used
+/// by library receive paths to extend the amortization window while
+/// they process a packet.
+pub fn note_thread_busy(kernel: &KernelHandle, id: EndpointId, until: SimTime) {
+    if let Some(ep) = kernel.borrow_mut().endpoints.get_mut(&id) {
+        if until > ep.thread_busy_until {
+            ep.thread_busy_until = until;
+        }
+    }
+}
+
+/// Charges the cost of a Mach RPC that moves `data_len` bytes of socket
+/// data between an application and the operating system server. The
+/// paper counts four physical copies on this path (§4.3 entry/copyin:
+/// user buffer → IPC message → kernel → server IPC buffer → mbuf
+/// chain); the final copy into/out of the mbuf chain is charged by the
+/// socket layer itself, so three are priced here, plus the trap and the
+/// RPC machinery.
+pub fn rpc_data_charge(costs: &CostModel, charge: &mut Charge, layer: Layer, data_len: usize) {
+    charge.crossing(layer, SimTime::from_nanos(costs.trap));
+    charge.add_ns(layer, costs.rpc_base);
+    charge.add_per_byte(layer, costs.ipc_copy_byte * 3, data_len);
+}
+
+/// Charges a control-path RPC (no bulk data): proxy calls such as
+/// `proxy_socket`, `proxy_bind`, `proxy_status`.
+pub fn rpc_control_charge(costs: &CostModel, charge: &mut Charge, req_reply_len: usize) {
+    charge.crossing(Layer::Control, SimTime::from_nanos(costs.trap));
+    charge.add_ns(Layer::Control, costs.rpc_base);
+    charge.add_per_byte(Layer::Control, costs.ipc_copy_byte * 4, req_reply_len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Captured `(delivery time, frame)` log shared with a sink.
+    type DeliveryLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+    use psd_wire::{EtherType, EthernetHeader, IpProto, Ipv4Header, UdpHeader, UDP_HDR_LEN};
+    use std::net::Ipv4Addr;
+
+    const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn udp_frame(dst_mac: EtherAddr, dst: (Ipv4Addr, u16), payload_len: usize) -> Vec<u8> {
+        let ip = Ipv4Header::new(A_IP, dst.0, IpProto::Udp, UDP_HDR_LEN + payload_len);
+        let udp = UdpHeader::new(999, dst.1, payload_len);
+        let eth = EthernetHeader {
+            dst: dst_mac,
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&ip.encode());
+        f.extend_from_slice(&udp.encode());
+        f.extend_from_slice(&vec![0xAAu8; payload_len]);
+        f
+    }
+
+    struct Rig {
+        sim: Sim,
+        ether: EthernetHandle,
+        kernel: KernelHandle,
+    }
+
+    fn rig() -> Rig {
+        let mut sim = Sim::new(1);
+        let ether = Ethernet::ten_megabit(&mut sim);
+        let cpu = Rc::new(RefCell::new(Cpu::new()));
+        let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu, EtherAddr::local(2));
+        Kernel::connect(&kernel, &ether);
+        Rig { sim, ether, kernel }
+    }
+
+    fn collect_sink() -> (PacketSink, DeliveryLog) {
+        let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        let sink: PacketSink = Rc::new(RefCell::new(move |_: &mut Sim, t: SimTime, f: Vec<u8>| {
+            l2.borrow_mut().push((t, f));
+        }));
+        (sink, log)
+    }
+
+    #[test]
+    fn session_filter_routes_to_endpoint() {
+        let mut r = rig();
+        let (sink, log) = collect_sink();
+        let (def_sink, def_log) = collect_sink();
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_endpoint(RxMode::Ipc, sink);
+            let def = k.create_endpoint(RxMode::Ipc, def_sink);
+            k.set_default_endpoint(def);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7000), ep);
+        }
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 7000), 10);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(def_log.borrow().len(), 0);
+        let stats = r.kernel.borrow().stats();
+        assert_eq!(stats.rx_session, 1);
+        assert_eq!(stats.rx_default, 0);
+    }
+
+    #[test]
+    fn unclaimed_packets_go_to_default() {
+        let mut r = rig();
+        let (def_sink, def_log) = collect_sink();
+        {
+            let mut k = r.kernel.borrow_mut();
+            let def = k.create_endpoint(RxMode::Ipc, def_sink);
+            k.set_default_endpoint(def);
+        }
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 12345), 10);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        assert_eq!(def_log.borrow().len(), 1);
+        assert_eq!(r.kernel.borrow().stats().rx_default, 1);
+    }
+
+    #[test]
+    fn unclaimed_without_default_dropped() {
+        let mut r = rig();
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 1), 10);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        assert_eq!(r.kernel.borrow().stats().rx_unclaimed, 1);
+    }
+
+    #[test]
+    fn security_isolation_between_endpoints() {
+        // An application's endpoint must never receive another
+        // session's packets (§3.4: "The kernel's packet filter ensures
+        // that an application can only receive packets that are
+        // destined for it").
+        let mut r = rig();
+        let (sink_a, log_a) = collect_sink();
+        let (sink_b, log_b) = collect_sink();
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep_a = k.create_endpoint(RxMode::Ipc, sink_a);
+            let ep_b = k.create_endpoint(RxMode::Ipc, sink_b);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 1000), ep_a);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 2000), ep_b);
+        }
+        for port in [1000u16, 1000, 2000] {
+            let now = r.sim.now();
+            let f = udp_frame(EtherAddr::local(2), (B_IP, port), 5);
+            Ethernet::transmit(&r.ether, &mut r.sim, now, f);
+            r.sim.run_to_idle();
+        }
+        assert_eq!(log_a.borrow().len(), 2);
+        assert_eq!(log_b.borrow().len(), 1);
+    }
+
+    #[test]
+    fn retarget_filter_moves_session_atomically() {
+        let mut r = rig();
+        let (sink_srv, log_srv) = collect_sink();
+        let (sink_app, log_app) = collect_sink();
+        let fid;
+        let ep_app;
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep_srv = k.create_endpoint(RxMode::Ipc, sink_srv);
+            ep_app = k.create_endpoint(RxMode::Ipc, sink_app);
+            fid = k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 9), ep_srv);
+        }
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 9), 1);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f.clone());
+        r.sim.run_to_idle();
+        r.kernel.borrow_mut().retarget_filter(fid, ep_app);
+        let now = r.sim.now();
+        Ethernet::transmit(&r.ether, &mut r.sim, now, f);
+        r.sim.run_to_idle();
+        assert_eq!(log_srv.borrow().len(), 1);
+        assert_eq!(log_app.borrow().len(), 1);
+    }
+
+    #[test]
+    fn shm_amortizes_wakeups_for_packet_trains() {
+        let mut r = rig();
+        // The sink models a network thread that takes 500 µs to process
+        // each packet, reporting its busy window back to the kernel so
+        // that arrivals during processing skip the wakeup.
+        let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+        let ep_cell: Rc<std::cell::Cell<Option<EndpointId>>> = Rc::new(std::cell::Cell::new(None));
+        let kernel2 = r.kernel.clone();
+        let log2 = log.clone();
+        let ep2 = ep_cell.clone();
+        let sink: PacketSink = Rc::new(RefCell::new(move |_: &mut Sim, t: SimTime, f: Vec<u8>| {
+            log2.borrow_mut().push((t, f));
+            if let Some(id) = ep2.get() {
+                note_thread_busy(&kernel2, id, t + SimTime::from_micros(500));
+            }
+        }));
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_endpoint(RxMode::Shm, sink);
+            ep_cell.set(Some(ep));
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+        }
+        // A train of back-to-back frames: the wire serializes them
+        // ~60 µs apart while the first delivery reserves the thread.
+        for _ in 0..5 {
+            let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1);
+            Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        }
+        r.sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 5);
+        let stats = r.kernel.borrow().stats();
+        assert!(
+            stats.wakeups_amortized >= 3,
+            "expected amortized wakeups, got {}",
+            stats.wakeups_amortized
+        );
+    }
+
+    #[test]
+    fn ipc_mode_never_amortizes() {
+        let mut r = rig();
+        let (sink, log) = collect_sink();
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_endpoint(RxMode::Ipc, sink);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+        }
+        for _ in 0..5 {
+            let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1);
+            Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        }
+        r.sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 5);
+        assert_eq!(r.kernel.borrow().stats().wakeups_amortized, 0);
+    }
+
+    #[test]
+    fn ipf_defers_device_copy() {
+        // With an IPF endpoint installed, DeviceIntrRead must be flat
+        // (no per-byte device read at interrupt time); the body copy is
+        // charged to KernelCopyout instead.
+        use psd_sim::LatencyProbe;
+        let mut r = rig();
+        let probe = LatencyProbe::shared();
+        r.kernel
+            .borrow()
+            .cpu()
+            .borrow_mut()
+            .set_probe(Some(probe.clone()));
+        let (sink, _log) = collect_sink();
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_endpoint(RxMode::ShmIpf, sink);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+        }
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1400);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        let p = probe.borrow();
+        let intr = p.layer(Layer::DeviceIntrRead).total;
+        let copyout = p.layer(Layer::KernelCopyout).total;
+        let costs = CostModel::decstation_5000_200();
+        assert!(
+            intr < SimTime::from_nanos(costs.intr_dispatch + 20_000),
+            "interrupt path should be flat, was {intr}"
+        );
+        assert!(
+            copyout > SimTime::from_nanos(costs.dev_read_byte * 1400),
+            "body copy belongs to copyout, was {copyout}"
+        );
+    }
+
+    #[test]
+    fn send_from_user_charges_trap_and_copies() {
+        use psd_sim::LatencyProbe;
+        let mut r = rig();
+        let probe = LatencyProbe::shared();
+        let cpu = r.kernel.borrow().cpu();
+        cpu.borrow_mut().set_probe(Some(probe.clone()));
+        let frame = udp_frame(EtherAddr::local(9), (B_IP, 7), 100);
+        let flen = frame.len();
+        let mut charge = cpu.borrow_mut().begin(r.sim.now());
+        Kernel::send_from_user(&r.kernel, &mut r.sim, &mut charge, frame);
+        cpu.borrow_mut().finish(charge);
+        r.sim.run_to_idle();
+        let costs = CostModel::decstation_5000_200();
+        let expect = costs.trap + (costs.kcopy_byte + costs.dev_write_byte) * flen as u64;
+        let p = probe.borrow();
+        assert_eq!(
+            p.layer(Layer::EtherOutput).total,
+            SimTime::from_nanos(expect)
+        );
+        assert_eq!(p.layer(Layer::EtherOutput).crossings, 1);
+        assert_eq!(r.kernel.borrow().stats().tx_user, 1);
+        assert_eq!(r.ether.borrow().stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn send_from_kernel_skips_trap() {
+        use psd_sim::LatencyProbe;
+        let mut r = rig();
+        let probe = LatencyProbe::shared();
+        let cpu = r.kernel.borrow().cpu();
+        cpu.borrow_mut().set_probe(Some(probe.clone()));
+        let frame = udp_frame(EtherAddr::local(9), (B_IP, 7), 100);
+        let flen = frame.len();
+        let mut charge = cpu.borrow_mut().begin(r.sim.now());
+        Kernel::send_from_kernel(&r.kernel, &mut r.sim, &mut charge, frame);
+        cpu.borrow_mut().finish(charge);
+        r.sim.run_to_idle();
+        let costs = CostModel::decstation_5000_200();
+        let p = probe.borrow();
+        assert_eq!(
+            p.layer(Layer::EtherOutput).total,
+            SimTime::from_nanos(costs.dev_write_byte * flen as u64)
+        );
+        assert_eq!(p.layer(Layer::EtherOutput).crossings, 0);
+    }
+
+    #[test]
+    fn inkernel_endpoint_runs_in_interrupt_charge() {
+        let mut r = rig();
+        let seen: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let s2 = seen.clone();
+        let sink: InKernelSink = Rc::new(RefCell::new(
+            move |_: &mut Sim, charge: &mut Charge, f: Vec<u8>| {
+                charge.add_ns(Layer::TcpUdpInput, 1000);
+                s2.borrow_mut().push(f.len());
+            },
+        ));
+        {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_inkernel_endpoint(sink);
+            k.set_default_endpoint(ep);
+        }
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 64);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        assert_eq!(seen.borrow().len(), 1);
+    }
+
+    #[test]
+    fn destroy_endpoint_removes_filter() {
+        let mut r = rig();
+        let (sink, log) = collect_sink();
+        let ep = {
+            let mut k = r.kernel.borrow_mut();
+            let ep = k.create_endpoint(RxMode::Ipc, sink);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+            ep
+        };
+        r.kernel.borrow_mut().destroy_endpoint(ep);
+        let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1);
+        Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
+        r.sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(r.kernel.borrow().stats().rx_unclaimed, 1);
+    }
+
+    #[test]
+    fn tx_limiter_rejects_disallowed_frames() {
+        let mut r = rig();
+        // Only IPv4 frames sourced from 10.0.0.2 may leave (an
+        // anti-spoofing policy).
+        let program = {
+            use psd_filter::{Binop, Insn};
+            psd_filter::Program::new(vec![
+                Insn::PushWord(12),
+                Insn::PushLit(0x0800),
+                Insn::CombineAnd(Binop::Eq),
+                Insn::PushWord(26),
+                Insn::PushLit(0x0A00),
+                Insn::CombineAnd(Binop::Eq),
+                Insn::PushWord(28),
+                Insn::PushLit(0x0002),
+                Insn::CombineAnd(Binop::Eq),
+                Insn::PushLit(1),
+                Insn::Ret,
+            ])
+        };
+        r.kernel.borrow_mut().set_tx_limiter(Some(program));
+        let cpu = r.kernel.borrow().cpu();
+        // A legitimate frame (src 10.0.0.2) passes.
+        let ok_frame = {
+            let ip = Ipv4Header::new(B_IP, A_IP, IpProto::Udp, UDP_HDR_LEN);
+            let eth = EthernetHeader {
+                dst: EtherAddr::local(1),
+                src: EtherAddr::local(2),
+                ethertype: EtherType::Ipv4,
+            };
+            let mut f = eth.encode().to_vec();
+            f.extend_from_slice(&ip.encode());
+            f.extend_from_slice(&UdpHeader::new(1, 2, 0).encode());
+            f
+        };
+        let mut charge = cpu.borrow_mut().begin(r.sim.now());
+        Kernel::send_from_user(&r.kernel, &mut r.sim, &mut charge, ok_frame);
+        cpu.borrow_mut().finish(charge);
+        r.sim.run_to_idle();
+        assert_eq!(r.ether.borrow().stats().tx_frames, 1);
+        // A spoofed frame (src 10.0.0.9) is dropped before the device.
+        let spoof = {
+            let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 9), A_IP, IpProto::Udp, UDP_HDR_LEN);
+            let eth = EthernetHeader {
+                dst: EtherAddr::local(1),
+                src: EtherAddr::local(2),
+                ethertype: EtherType::Ipv4,
+            };
+            let mut f = eth.encode().to_vec();
+            f.extend_from_slice(&ip.encode());
+            f.extend_from_slice(&UdpHeader::new(1, 2, 0).encode());
+            f
+        };
+        let mut charge = cpu.borrow_mut().begin(r.sim.now());
+        Kernel::send_from_user(&r.kernel, &mut r.sim, &mut charge, spoof);
+        cpu.borrow_mut().finish(charge);
+        r.sim.run_to_idle();
+        assert_eq!(
+            r.ether.borrow().stats().tx_frames,
+            1,
+            "spoof must not reach the wire"
+        );
+        assert_eq!(r.kernel.borrow().stats().tx_rejected, 1);
+    }
+
+    #[test]
+    fn rpc_charges_four_copies() {
+        use psd_sim::LatencyProbe;
+        let probe = LatencyProbe::shared();
+        let mut cpu = Cpu::new();
+        cpu.set_probe(Some(probe.clone()));
+        let costs = CostModel::decstation_5000_200();
+        let mut charge = cpu.begin(SimTime::ZERO);
+        rpc_data_charge(&costs, &mut charge, Layer::EntryCopyin, 1000);
+        cpu.finish(charge);
+        let expect = costs.trap + costs.rpc_base + 3 * costs.ipc_copy_byte * 1000;
+        assert_eq!(
+            probe.borrow().layer(Layer::EntryCopyin).total,
+            SimTime::from_nanos(expect)
+        );
+        assert_eq!(probe.borrow().layer(Layer::EntryCopyin).crossings, 1);
+    }
+}

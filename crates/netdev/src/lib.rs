@@ -1,0 +1,540 @@
+//! The simulated 10 Mb/s Ethernet segment.
+//!
+//! Stations (host network interfaces) attach to a shared [`Ethernet`]
+//! medium. Transmissions serialize on the wire and take real 10 Mb/s
+//! time: `(max(len, 60) + 4 FCS) × 0.8 µs/byte`, which reproduces the
+//! paper's Table 4 network transit figures exactly (51 µs for a minimum
+//! frame, 1214 µs for a full 1514-byte TCP frame).
+//!
+//! The medium supports deterministic fault injection — loss, duplication
+//! and reordering — used by the TCP recovery tests and the failure
+//! benchmarks. A [`FrameTrace`] can be attached to capture traffic for
+//! assertions and debugging.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use psd_sim::probe::ProbeHandle;
+use psd_sim::{Layer, Sim, SimTime};
+use psd_wire::{EtherAddr, EthernetHeader};
+
+/// Minimum frame length on the wire (without FCS).
+pub const MIN_FRAME: usize = 60;
+/// Maximum frame length on the wire (without FCS).
+pub const MAX_FRAME: usize = 1514;
+/// FCS length added on the wire.
+pub const FCS_LEN: usize = 4;
+
+/// Wire timing for a 10 Mb/s Ethernet (100 ns per bit).
+#[derive(Clone, Copy, Debug)]
+pub struct EtherTiming {
+    /// Nanoseconds per bit (100 for 10 Mb/s).
+    pub bit_ns: u64,
+}
+
+impl EtherTiming {
+    /// Standard 10 Mb/s Ethernet.
+    pub fn ten_megabit() -> EtherTiming {
+        EtherTiming { bit_ns: 100 }
+    }
+
+    /// The on-wire time for a frame of `len` bytes (header + payload,
+    /// excluding FCS, which is added here).
+    pub fn frame_time(&self, len: usize) -> SimTime {
+        let wire_bytes = (len.max(MIN_FRAME) + FCS_LEN) as u64;
+        SimTime::from_nanos(wire_bytes * 8 * self.bit_ns)
+    }
+}
+
+/// Deterministic fault injection parameters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultModel {
+    /// Probability a frame is lost.
+    pub loss: f64,
+    /// Probability a frame is duplicated.
+    pub duplicate: f64,
+    /// Probability a frame is delayed past its successors.
+    pub reorder: f64,
+    /// Extra delay applied to reordered (and duplicated) frames.
+    pub reorder_delay: SimTime,
+}
+
+impl FaultModel {
+    /// A perfect wire.
+    pub fn none() -> FaultModel {
+        FaultModel::default()
+    }
+
+    /// A lossy wire with the given loss probability.
+    pub fn lossy(loss: f64) -> FaultModel {
+        FaultModel {
+            loss,
+            ..FaultModel::default()
+        }
+    }
+}
+
+/// A network interface attached to the segment.
+pub trait Station {
+    /// The station's MAC address, used for delivery filtering.
+    fn mac(&self) -> EtherAddr;
+
+    /// True if the station wants all frames regardless of destination.
+    fn promiscuous(&self) -> bool {
+        false
+    }
+
+    /// Called when a frame addressed to this station (or broadcast) has
+    /// fully arrived.
+    fn frame_arrived(&mut self, sim: &mut Sim, frame: Vec<u8>);
+}
+
+/// Traffic counters for the segment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EtherStats {
+    /// Frames handed to the medium.
+    pub tx_frames: u64,
+    /// Bytes handed to the medium (before min-frame padding).
+    pub tx_bytes: u64,
+    /// Frames dropped by fault injection.
+    pub dropped: u64,
+    /// Frames duplicated by fault injection.
+    pub duplicated: u64,
+    /// Frames reordered by fault injection.
+    pub reordered: u64,
+    /// Frames delivered to stations (one per receiving station).
+    pub delivered: u64,
+}
+
+/// An optional capture of frames for tests and debugging.
+#[derive(Debug, Default)]
+pub struct FrameTrace {
+    /// Captured `(time, frame)` pairs, in transmission order.
+    pub frames: Vec<(SimTime, Vec<u8>)>,
+}
+
+/// The shared Ethernet medium.
+pub struct Ethernet {
+    timing: EtherTiming,
+    faults: FaultModel,
+    stations: Vec<Rc<RefCell<dyn Station>>>,
+    busy_until: SimTime,
+    rng: psd_sim::Rng,
+    stats: EtherStats,
+    probe: Option<ProbeHandle>,
+    trace: Option<Rc<RefCell<FrameTrace>>>,
+}
+
+/// Shared handle to an [`Ethernet`].
+pub type EthernetHandle = Rc<RefCell<Ethernet>>;
+
+impl Ethernet {
+    /// Creates a segment with the given timing and fault model. The
+    /// segment forks its own PRNG stream from the simulation.
+    pub fn new(sim: &mut Sim, timing: EtherTiming, faults: FaultModel) -> EthernetHandle {
+        Rc::new(RefCell::new(Ethernet {
+            timing,
+            faults,
+            stations: Vec::new(),
+            busy_until: SimTime::ZERO,
+            rng: sim.rng().fork(),
+            stats: EtherStats::default(),
+            probe: None,
+            trace: None,
+        }))
+    }
+
+    /// A standard private 10 Mb/s segment with no faults.
+    pub fn ten_megabit(sim: &mut Sim) -> EthernetHandle {
+        Ethernet::new(sim, EtherTiming::ten_megabit(), FaultModel::none())
+    }
+
+    /// Attaches a station.
+    pub fn attach(&mut self, station: Rc<RefCell<dyn Station>>) {
+        self.stations.push(station);
+    }
+
+    /// Attaches a latency probe recording network transit time.
+    pub fn set_probe(&mut self, probe: Option<ProbeHandle>) {
+        self.probe = probe;
+    }
+
+    /// Attaches a frame trace.
+    pub fn set_trace(&mut self, trace: Option<Rc<RefCell<FrameTrace>>>) {
+        self.trace = trace;
+    }
+
+    /// Replaces the fault model.
+    pub fn set_faults(&mut self, faults: FaultModel) {
+        self.faults = faults;
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> EtherStats {
+        self.stats
+    }
+
+    /// The wire timing.
+    pub fn timing(&self) -> EtherTiming {
+        self.timing
+    }
+
+    /// Transmits `frame` onto the medium, the transmitter being ready at
+    /// `ready`. Returns the time the frame finishes arriving (even if it
+    /// will be dropped, since the sender cannot tell).
+    ///
+    /// Borrow discipline: `this` must not be mutably borrowed by the
+    /// caller; delivery events borrow stations, never the caller.
+    pub fn transmit(
+        this: &EthernetHandle,
+        sim: &mut Sim,
+        ready: SimTime,
+        frame: Vec<u8>,
+    ) -> SimTime {
+        let mut seg = this.borrow_mut();
+        debug_assert!(frame.len() >= psd_wire::ETHER_HDR_LEN, "runt frame");
+        seg.stats.tx_frames += 1;
+        seg.stats.tx_bytes += frame.len() as u64;
+        if let Some(trace) = &seg.trace {
+            trace.borrow_mut().frames.push((ready, frame.clone()));
+        }
+        // The shared medium serializes transmissions (CSMA/CD without
+        // collisions: the workloads here are request/response or one
+        // one-way stream, so contention backoff is negligible).
+        let start = ready.max(seg.busy_until);
+        let duration = seg.timing.frame_time(frame.len());
+        let arrival = start + duration;
+        seg.busy_until = arrival;
+        if let Some(p) = &seg.probe {
+            p.borrow_mut().record(Layer::NetworkTransit, duration);
+        }
+
+        // Fault injection.
+        let faults = seg.faults;
+        let lost = seg.rng.chance(faults.loss);
+        let duplicated = !lost && seg.rng.chance(faults.duplicate);
+        let reordered = !lost && seg.rng.chance(faults.reorder);
+        if lost {
+            seg.stats.dropped += 1;
+            return arrival;
+        }
+        if duplicated {
+            seg.stats.duplicated += 1;
+        }
+        if reordered {
+            seg.stats.reordered += 1;
+        }
+        let extra = seg.faults.reorder_delay;
+        drop(seg);
+
+        let deliver_at = if reordered { arrival + extra } else { arrival };
+        Ethernet::schedule_delivery(this, sim, deliver_at, frame.clone());
+        if duplicated {
+            Ethernet::schedule_delivery(this, sim, arrival + extra, frame);
+        }
+        arrival
+    }
+
+    fn schedule_delivery(this: &EthernetHandle, sim: &mut Sim, at: SimTime, frame: Vec<u8>) {
+        let seg = this.clone();
+        sim.at(at, move |sim| {
+            let hdr = match EthernetHeader::parse(&frame) {
+                Ok(h) => h,
+                Err(_) => return,
+            };
+            // Snapshot receivers first so station callbacks can transmit
+            // (re-borrowing the segment) without a double borrow.
+            let receivers: Vec<Rc<RefCell<dyn Station>>> = {
+                let seg_ref = seg.borrow();
+                seg_ref
+                    .stations
+                    .iter()
+                    .filter(|s| {
+                        let st = s.borrow();
+                        let mac = st.mac();
+                        mac != hdr.src
+                            && (hdr.dst.is_broadcast() || hdr.dst == mac || st.promiscuous())
+                    })
+                    .cloned()
+                    .collect()
+            };
+            seg.borrow_mut().stats.delivered += receivers.len() as u64;
+            for station in receivers {
+                station.borrow_mut().frame_arrived(sim, frame.clone());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psd_wire::EtherType;
+
+    struct TestStation {
+        mac: EtherAddr,
+        promisc: bool,
+        received: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl TestStation {
+        fn new(id: u32) -> Rc<RefCell<TestStation>> {
+            Rc::new(RefCell::new(TestStation {
+                mac: EtherAddr::local(id),
+                promisc: false,
+                received: Vec::new(),
+            }))
+        }
+    }
+
+    impl Station for TestStation {
+        fn mac(&self) -> EtherAddr {
+            self.mac
+        }
+
+        fn promiscuous(&self) -> bool {
+            self.promisc
+        }
+
+        fn frame_arrived(&mut self, sim: &mut Sim, frame: Vec<u8>) {
+            self.received.push((sim.now(), frame));
+        }
+    }
+
+    fn frame(src: u32, dst: EtherAddr, payload_len: usize) -> Vec<u8> {
+        let hdr = EthernetHeader {
+            dst,
+            src: EtherAddr::local(src),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = hdr.encode().to_vec();
+        f.resize(psd_wire::ETHER_HDR_LEN + payload_len, 0xAB);
+        f
+    }
+
+    #[test]
+    fn frame_time_matches_paper_transit() {
+        let t = EtherTiming::ten_megabit();
+        // 1-byte UDP payload → 43-byte frame → padded to 60 + 4 FCS.
+        assert_eq!(t.frame_time(43), SimTime::from_nanos(51_200));
+        // Full TCP frame: 1514 + 4 FCS.
+        assert_eq!(t.frame_time(1514), SimTime::from_nanos(1_214_400));
+    }
+
+    #[test]
+    fn unicast_delivery_to_addressee_only() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let a = TestStation::new(1);
+        let b = TestStation::new(2);
+        let c = TestStation::new(3);
+        for s in [&a, &b, &c] {
+            seg.borrow_mut().attach(s.clone());
+        }
+        let f = frame(1, EtherAddr::local(2), 100);
+        Ethernet::transmit(&seg, &mut sim, SimTime::ZERO, f);
+        sim.run_to_idle();
+        assert_eq!(a.borrow().received.len(), 0, "sender must not hear itself");
+        assert_eq!(b.borrow().received.len(), 1);
+        assert_eq!(c.borrow().received.len(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let a = TestStation::new(1);
+        let b = TestStation::new(2);
+        let c = TestStation::new(3);
+        for s in [&a, &b, &c] {
+            seg.borrow_mut().attach(s.clone());
+        }
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::BROADCAST, 50),
+        );
+        sim.run_to_idle();
+        assert_eq!(a.borrow().received.len(), 0);
+        assert_eq!(b.borrow().received.len(), 1);
+        assert_eq!(c.borrow().received.len(), 1);
+    }
+
+    #[test]
+    fn promiscuous_station_hears_all() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let a = TestStation::new(1);
+        let b = TestStation::new(2);
+        let snoop = TestStation::new(99);
+        snoop.borrow_mut().promisc = true;
+        for s in [&a, &b, &snoop] {
+            seg.borrow_mut().attach(s.clone());
+        }
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 10),
+        );
+        sim.run_to_idle();
+        assert_eq!(snoop.borrow().received.len(), 1);
+    }
+
+    #[test]
+    fn arrival_time_includes_wire_time() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::from_micros(100),
+            frame(1, EtherAddr::local(2), 29),
+        );
+        sim.run_to_idle();
+        let (at, _) = b.borrow().received[0].clone();
+        // 100 µs start + 51.2 µs minimum frame.
+        assert_eq!(at, SimTime::from_nanos(151_200));
+    }
+
+    #[test]
+    fn medium_serializes_transmissions() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        let t1 = Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 1500),
+        );
+        let t2 = Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 1500),
+        );
+        assert_eq!(t1, SimTime::from_nanos(1_214_400));
+        assert_eq!(
+            t2,
+            SimTime::from_nanos(2_428_800),
+            "second frame queues behind first"
+        );
+        sim.run_to_idle();
+        assert_eq!(b.borrow().received.len(), 2);
+    }
+
+    #[test]
+    fn loss_drops_frames_deterministically() {
+        let mut sim = Sim::new(7);
+        let seg = Ethernet::new(&mut sim, EtherTiming::ten_megabit(), FaultModel::lossy(0.5));
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        for _ in 0..100 {
+            let now = sim.now();
+            Ethernet::transmit(&seg, &mut sim, now, frame(1, EtherAddr::local(2), 10));
+            sim.run_to_idle();
+        }
+        let delivered = b.borrow().received.len();
+        let stats = seg.borrow().stats();
+        assert_eq!(delivered as u64 + stats.dropped, 100);
+        assert!(
+            delivered > 20 && delivered < 80,
+            "≈50% expected, got {delivered}"
+        );
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut sim = Sim::new(3);
+        let seg = Ethernet::new(
+            &mut sim,
+            EtherTiming::ten_megabit(),
+            FaultModel {
+                duplicate: 1.0,
+                reorder_delay: SimTime::from_micros(10),
+                ..FaultModel::default()
+            },
+        );
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 10),
+        );
+        sim.run_to_idle();
+        assert_eq!(b.borrow().received.len(), 2);
+    }
+
+    #[test]
+    fn reorder_delays_past_successor() {
+        let mut sim = Sim::new(5);
+        let seg = Ethernet::new(
+            &mut sim,
+            EtherTiming::ten_megabit(),
+            FaultModel {
+                reorder: 1.0,
+                reorder_delay: SimTime::from_millis(5),
+                ..FaultModel::default()
+            },
+        );
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        let mut f1 = frame(1, EtherAddr::local(2), 10);
+        f1[20] = 1;
+        Ethernet::transmit(&seg, &mut sim, SimTime::ZERO, f1);
+        // Second frame sent later but with no faults.
+        seg.borrow_mut().set_faults(FaultModel::none());
+        let mut f2 = frame(1, EtherAddr::local(2), 10);
+        f2[20] = 2;
+        Ethernet::transmit(&seg, &mut sim, SimTime::from_micros(100), f2);
+        sim.run_to_idle();
+        let rx = &b.borrow().received;
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx[0].1[20], 2, "second frame should arrive first");
+        assert_eq!(rx[1].1[20], 1);
+    }
+
+    #[test]
+    fn trace_captures_frames() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let trace = Rc::new(RefCell::new(FrameTrace::default()));
+        seg.borrow_mut().set_trace(Some(trace.clone()));
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 10),
+        );
+        sim.run_to_idle();
+        assert_eq!(trace.borrow().frames.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::ten_megabit(&mut sim);
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 100),
+        );
+        sim.run_to_idle();
+        let s = seg.borrow().stats();
+        assert_eq!(s.tx_frames, 1);
+        assert_eq!(s.tx_bytes, 114);
+        assert_eq!(s.delivered, 1);
+    }
+}

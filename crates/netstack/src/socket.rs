@@ -1,0 +1,107 @@
+//! Socket identifiers, events, and errors.
+//!
+//! The stack exposes non-blocking operations; blocking behaviour and
+//! the exact BSD system-call signatures are layered above (proxy in the
+//! application, socket layer in the server). Events notify those upper
+//! layers of state changes — the mechanism beneath `sbwait`/`sowakeup`
+//! and beneath the cooperative `select` of §3.2.
+
+use std::fmt;
+
+/// A socket handle within one stack instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SockId(pub u64);
+
+/// State-change notifications delivered to the socket's owner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SockEvent {
+    /// Data (or a connection, for listeners) is available to read.
+    Readable,
+    /// Send-buffer space became available.
+    Writable,
+    /// An active open completed: the connection is established.
+    Connected,
+    /// The remote end will send no more data (FIN received).
+    PeerClosed,
+    /// The connection failed or was reset.
+    Error(SocketError),
+    /// The connection has fully terminated (close handshake complete,
+    /// TIME_WAIT expired, or reset) — the owner may reclaim resources.
+    Closed,
+}
+
+/// Errors in the style of BSD errnos.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SocketError {
+    /// Operation would block (EWOULDBLOCK).
+    WouldBlock,
+    /// Address already in use (EADDRINUSE).
+    AddrInUse,
+    /// The socket is not connected (ENOTCONN).
+    NotConnected,
+    /// The socket is already connected (EISCONN).
+    IsConnected,
+    /// Connection refused by the peer (ECONNREFUSED).
+    ConnRefused,
+    /// Connection reset by the peer (ECONNRESET).
+    ConnReset,
+    /// The connection timed out (ETIMEDOUT).
+    TimedOut,
+    /// No route to host (EHOSTUNREACH).
+    HostUnreach,
+    /// Message too long for the protocol (EMSGSIZE).
+    MsgSize,
+    /// Invalid argument or state (EINVAL).
+    Invalid,
+    /// The socket is closed / bad descriptor (EBADF).
+    BadSocket,
+    /// The operation is not supported on this socket (EOPNOTSUPP).
+    OpNotSupp,
+    /// The connection is shutting down (ESHUTDOWN).
+    Shutdown,
+    /// Out of buffer space (ENOBUFS).
+    NoBufs,
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SocketError::WouldBlock => "operation would block",
+            SocketError::AddrInUse => "address already in use",
+            SocketError::NotConnected => "socket is not connected",
+            SocketError::IsConnected => "socket is already connected",
+            SocketError::ConnRefused => "connection refused",
+            SocketError::ConnReset => "connection reset by peer",
+            SocketError::TimedOut => "connection timed out",
+            SocketError::HostUnreach => "no route to host",
+            SocketError::MsgSize => "message too long",
+            SocketError::Invalid => "invalid argument",
+            SocketError::BadSocket => "bad socket",
+            SocketError::OpNotSupp => "operation not supported",
+            SocketError::Shutdown => "connection is shutting down",
+            SocketError::NoBufs => "no buffer space available",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(SocketError::WouldBlock.to_string(), "operation would block");
+        assert_eq!(
+            SocketError::ConnReset.to_string(),
+            "connection reset by peer"
+        );
+    }
+
+    #[test]
+    fn sock_ids_are_ordered() {
+        assert!(SockId(1) < SockId(2));
+    }
+}

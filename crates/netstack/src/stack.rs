@@ -1,0 +1,1569 @@
+//! The stack driver: sockets, input dispatch, output encapsulation,
+//! timers, and session migration.
+//!
+//! One [`NetStack`] instance is the protocol half of one *domain*: the
+//! kernel (monolithic configurations), the operating system server, or
+//! one application's library. All placements run this same code; see
+//! the crate docs for what [`Placement`] changes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::{Rc, Weak};
+
+use psd_mbuf::MbufChain;
+use psd_sim::{Charge, CostModel, Cpu, Layer, Sim, SimHandle, SimTime};
+use psd_wire::{
+    ArpOp, ArpPacket, EtherAddr, EtherType, EthernetHeader, IcmpMessage, IpProto, Ipv4Header,
+    TcpHeader, UdpHeader, ETHER_HDR_LEN,
+};
+
+use crate::arp::ArpCache;
+use crate::icmp;
+use crate::ip::{fragment, IpIdent, Reassembler};
+use crate::route::RouteTable;
+use crate::socket::{SockEvent, SockId, SocketError};
+use crate::tcp::{SegmentSpec, Tcb, TcbSnapshot, TcpAction, TcpState, TcpTimer};
+use crate::udp::{UdpPcb, UdpSnapshot, UDP_MAXDGRAM};
+use crate::{InetAddr, Placement};
+
+/// How a stack instance reaches the wire. Implementations charge their
+/// placement's transmit costs (trap + user→kernel copy for user-space
+/// placements; device copy always) into the passed [`Charge`].
+pub trait NetIf {
+    /// The interface MAC address.
+    fn mac(&self) -> EtherAddr;
+
+    /// The interface MTU.
+    fn mtu(&self) -> usize {
+        1500
+    }
+
+    /// Transmits a complete Ethernet frame.
+    fn transmit(&self, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>);
+}
+
+/// Per-socket event callback. Invoked via scheduled events, never while
+/// the stack is borrowed, so it may call back into the stack.
+pub type EventSink = Rc<RefCell<dyn FnMut(&mut Sim, SockId, SockEvent)>>;
+
+/// Resolver upcall for library placements: ask the operating system
+/// server for an ARP mapping (a control RPC, charged into the cursor).
+pub type ArpResolver = Box<dyn FnMut(&mut Sim, &mut Charge, Ipv4Addr) -> Option<EtherAddr>>;
+
+/// Hook invoked when a datagram arrives for which no local socket
+/// exists. The server uses this to forward reassembled or exceptional
+/// datagrams to sessions that have migrated into applications. Returns
+/// true if the datagram was consumed.
+pub type UnclaimedUdpHook = Rc<RefCell<dyn FnMut(&mut Sim, InetAddr, InetAddr, &[u8]) -> bool>>;
+
+/// Hook consulted when a TCP segment matches no local socket, keyed by
+/// `(local, remote)`. Returning true suppresses the RST — used by the
+/// operating system server for sessions that have migrated into an
+/// application (a stray segment must not reset a live connection).
+pub type StrayTcpHook = Rc<RefCell<dyn FnMut(InetAddr, InetAddr) -> bool>>;
+
+struct ListenState {
+    backlog: usize,
+    queue: Vec<SockId>,
+}
+
+enum SockState {
+    Udp(UdpPcb),
+    TcpUnbound {
+        local: InetAddr,
+    },
+    TcpListen {
+        local: InetAddr,
+        listen: ListenState,
+    },
+    Tcp(Box<Tcb>),
+}
+
+struct SockEntry {
+    state: SockState,
+    sink: Option<EventSink>,
+    timers: HashMap<TcpTimer, SimHandle>,
+    /// Bumped whenever timers are invalidated wholesale (close,
+    /// migration) so stale timer events turn into no-ops.
+    generation: u64,
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackStats {
+    /// Frames handed to `input_frame`.
+    pub frames_in: u64,
+    /// TCP segments received / transmitted.
+    pub tcp_in: u64,
+    /// TCP segments sent.
+    pub tcp_out: u64,
+    /// TCP segments retransmitted.
+    pub tcp_rexmt: u64,
+    /// UDP datagrams received / transmitted.
+    pub udp_in: u64,
+    /// UDP datagrams sent.
+    pub udp_out: u64,
+    /// Checksum failures (any protocol).
+    pub checksum_errors: u64,
+    /// Datagrams/segments with no matching socket.
+    pub no_socket: u64,
+    /// Packets dropped awaiting ARP resolution (library placements).
+    pub arp_drops: u64,
+    /// ICMP messages received.
+    pub icmp_in: u64,
+    /// Datagrams reassembled from fragments.
+    pub reassembled: u64,
+}
+
+/// The migration capsule: "the connection state variables" of §3.1.
+#[derive(Debug, Clone)]
+pub enum SessionState {
+    /// A TCP session.
+    Tcp(TcbSnapshot),
+    /// A UDP session.
+    Udp(UdpSnapshot),
+}
+
+impl SessionState {
+    /// The session's local endpoint.
+    pub fn local(&self) -> InetAddr {
+        match self {
+            SessionState::Tcp(t) => t.local,
+            SessionState::Udp(u) => u.local,
+        }
+    }
+
+    /// The session's remote endpoint, if connected.
+    pub fn remote(&self) -> Option<InetAddr> {
+        match self {
+            SessionState::Tcp(t) => Some(t.remote),
+            SessionState::Udp(u) => u.remote,
+        }
+    }
+}
+
+/// Shared handle to a stack.
+pub type StackHandle = Rc<RefCell<NetStack>>;
+
+/// One protocol-stack instance.
+pub struct NetStack {
+    me: Weak<RefCell<NetStack>>,
+    placement: Placement,
+    costs: CostModel,
+    cpu: Rc<RefCell<Cpu>>,
+    ifnet: Option<Rc<dyn NetIf>>,
+    /// This host's IP address.
+    pub ip_addr: Ipv4Addr,
+    /// Routing table (authoritative in the server, cached in apps).
+    pub routes: RouteTable,
+    /// ARP cache (authoritative in the server, cached in apps).
+    pub arp: ArpCache,
+    arp_authoritative: bool,
+    arp_resolver: Option<ArpResolver>,
+    unclaimed_udp: Option<UnclaimedUdpHook>,
+    stray_tcp: Option<StrayTcpHook>,
+    reasm: Reassembler,
+    ident: IpIdent,
+    socks: HashMap<SockId, SockEntry>,
+    /// Embryonic connections awaiting their listener: (listener, child).
+    pending_children: Vec<(SockId, SockId)>,
+    next_sock: u64,
+    iss_clock: u32,
+    tcp_bufs: (usize, usize),
+    mss_cap: u16,
+    /// Counters.
+    pub stats: StackStats,
+}
+
+impl NetStack {
+    /// Creates a stack for one domain.
+    pub fn new(
+        placement: Placement,
+        costs: CostModel,
+        cpu: Rc<RefCell<Cpu>>,
+        ip_addr: Ipv4Addr,
+    ) -> StackHandle {
+        let handle = Rc::new(RefCell::new(NetStack {
+            me: Weak::new(),
+            placement,
+            costs,
+            cpu,
+            ifnet: None,
+            ip_addr,
+            routes: RouteTable::new(),
+            arp: ArpCache::new(),
+            arp_authoritative: placement != Placement::Library,
+            arp_resolver: None,
+            unclaimed_udp: None,
+            stray_tcp: None,
+            reasm: Reassembler::new(),
+            ident: IpIdent::default(),
+            socks: HashMap::new(),
+            pending_children: Vec::new(),
+            next_sock: 1,
+            iss_clock: 1,
+            tcp_bufs: (8 * 1024, 24 * 1024),
+            mss_cap: crate::tcp::DEFAULT_MSS,
+            stats: StackStats::default(),
+        }));
+        handle.borrow_mut().me = Rc::downgrade(&handle);
+        handle
+    }
+
+    /// Attaches the network interface.
+    pub fn set_ifnet(&mut self, ifnet: Rc<dyn NetIf>) {
+        self.ifnet = Some(ifnet);
+    }
+
+    /// Installs the ARP resolver upcall (library placements).
+    pub fn set_arp_resolver(&mut self, resolver: ArpResolver) {
+        self.arp_resolver = Some(resolver);
+    }
+
+    /// Installs the unclaimed-datagram hook (server placement).
+    pub fn set_unclaimed_udp_hook(&mut self, hook: UnclaimedUdpHook) {
+        self.unclaimed_udp = Some(hook);
+    }
+
+    /// Installs the stray-TCP-segment hook (server placement).
+    pub fn set_stray_tcp_hook(&mut self, hook: StrayTcpHook) {
+        self.stray_tcp = Some(hook);
+    }
+
+    /// Sends an ARP request for `ip` proactively (used by the server
+    /// when an application asks for a mapping it does not have yet).
+    pub fn arp_kick(&mut self, sim: &mut Sim, charge: &mut Charge, ip: Ipv4Addr) {
+        if !self.arp_authoritative {
+            return;
+        }
+        let now = charge.at();
+        if self.arp.lookup(ip, now).is_some() {
+            return;
+        }
+        let Some(next_hop) = self.routes.lookup(ip) else {
+            return;
+        };
+        if !self.arp.request_due(next_hop, now) {
+            return;
+        }
+        let ifnet = self.ifnet.clone().expect("no ifnet");
+        let req = ArpPacket::request(ifnet.mac(), self.ip_addr, next_hop);
+        let eth = EthernetHeader {
+            dst: EtherAddr::BROADCAST,
+            src: ifnet.mac(),
+            ethertype: EtherType::Arp,
+        };
+        let mut frame = eth.encode().to_vec();
+        frame.extend_from_slice(&req.encode());
+        ifnet.transmit(sim, charge, frame);
+    }
+
+    /// Sets the default TCP buffer sizes `(send, receive)` for new and
+    /// imported sockets. "For each system, we ran the throughput
+    /// benchmarks with the best possible receive buffer size."
+    pub fn set_tcp_buffers(&mut self, snd: usize, rcv: usize) {
+        self.tcp_bufs = (snd, rcv);
+    }
+
+    /// The configured default TCP buffer sizes.
+    pub fn tcp_buffers(&self) -> (usize, usize) {
+        self.tcp_bufs
+    }
+
+    /// Caps the MSS of new connections below the Ethernet default —
+    /// used to model 386BSD's large-packet bug (Table 2's NA cells: it
+    /// could not send large TCP packets, so its connections ran with
+    /// small segments).
+    pub fn set_mss_cap(&mut self, mss: u16) {
+        self.mss_cap = mss;
+    }
+
+    /// This stack's placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The host CPU (to open charges at entry points).
+    pub fn cpu(&self) -> Rc<RefCell<Cpu>> {
+        self.cpu.clone()
+    }
+
+    fn sync(&self, charge: &mut Charge, layer: Layer, n: u64) {
+        self.placement.charge_sync(&self.costs, charge, layer, n);
+    }
+
+    /// This placement's synchronization unit price (for call sites that
+    /// must precompute it before taking other borrows).
+    fn sync_unit(&self) -> u64 {
+        match self.placement {
+            Placement::Kernel => self.costs.spl_kernel,
+            Placement::Server => self.costs.spl_server,
+            Placement::Library => self.costs.lock_light,
+        }
+    }
+
+    fn alloc_sock(&mut self, state: SockState) -> SockId {
+        let id = SockId(self.next_sock);
+        self.next_sock += 1;
+        self.socks.insert(
+            id,
+            SockEntry {
+                state,
+                sink: None,
+                timers: HashMap::new(),
+                generation: 0,
+            },
+        );
+        id
+    }
+
+    // --- Socket management ---
+
+    /// Creates a UDP socket.
+    pub fn socket_udp(&mut self) -> SockId {
+        self.alloc_sock(SockState::Udp(UdpPcb::new()))
+    }
+
+    /// Creates a TCP socket.
+    pub fn socket_tcp(&mut self) -> SockId {
+        self.alloc_sock(SockState::TcpUnbound {
+            local: InetAddr::any(),
+        })
+    }
+
+    /// Registers the socket's event sink.
+    pub fn set_sink(&mut self, sock: SockId, sink: EventSink) {
+        if let Some(e) = self.socks.get_mut(&sock) {
+            e.sink = Some(sink);
+        }
+    }
+
+    /// Binds the local endpoint. Port-namespace arbitration belongs to
+    /// the operating system above this layer.
+    pub fn bind(&mut self, sock: SockId, local: InetAddr) -> Result<(), SocketError> {
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        match &mut e.state {
+            SockState::Udp(pcb) => {
+                pcb.local = local;
+                Ok(())
+            }
+            SockState::TcpUnbound { local: l } => {
+                *l = local;
+                Ok(())
+            }
+            _ => Err(SocketError::Invalid),
+        }
+    }
+
+    /// The socket's local endpoint.
+    pub fn local_addr(&self, sock: SockId) -> Option<InetAddr> {
+        self.socks.get(&sock).map(|e| match &e.state {
+            SockState::Udp(pcb) => pcb.local,
+            SockState::TcpUnbound { local } => *local,
+            SockState::TcpListen { local, .. } => *local,
+            SockState::Tcp(tcb) => tcb.local,
+        })
+    }
+
+    /// The socket's remote endpoint, if connected.
+    pub fn remote_addr(&self, sock: SockId) -> Option<InetAddr> {
+        self.socks.get(&sock).and_then(|e| match &e.state {
+            SockState::Udp(pcb) => pcb.remote,
+            SockState::Tcp(tcb) => Some(tcb.remote),
+            _ => None,
+        })
+    }
+
+    /// Sets `TCP_NODELAY`.
+    pub fn set_nodelay(&mut self, sock: SockId, nodelay: bool) {
+        if let Some(SockEntry {
+            state: SockState::Tcp(tcb),
+            ..
+        }) = self.socks.get_mut(&sock)
+        {
+            tcb.nodelay = nodelay;
+        }
+    }
+
+    /// Resizes the receive buffer ("receive buffers … can be
+    /// reallocated on demand for busy sessions").
+    pub fn set_recv_buffer(&mut self, sock: SockId, size: usize) {
+        if let Some(e) = self.socks.get_mut(&sock) {
+            match &mut e.state {
+                SockState::Tcp(tcb) => tcb.rcv_buf.reserve(size),
+                SockState::Udp(pcb) => pcb.rcv.reserve(size),
+                _ => {}
+            }
+        }
+    }
+
+    /// Moves a TCP socket to LISTEN.
+    pub fn listen(&mut self, sock: SockId, backlog: usize) -> Result<(), SocketError> {
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        match &e.state {
+            SockState::TcpUnbound { local } => {
+                if local.port == 0 {
+                    return Err(SocketError::Invalid);
+                }
+                e.state = SockState::TcpListen {
+                    local: *local,
+                    listen: ListenState {
+                        backlog: backlog.max(1),
+                        queue: Vec::new(),
+                    },
+                };
+                Ok(())
+            }
+            _ => Err(SocketError::Invalid),
+        }
+    }
+
+    /// Accepts an established connection from a listener's queue.
+    pub fn accept(&mut self, sock: SockId) -> Result<SockId, SocketError> {
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        match &mut e.state {
+            SockState::TcpListen { listen, .. } => {
+                if listen.queue.is_empty() {
+                    Err(SocketError::WouldBlock)
+                } else {
+                    Ok(listen.queue.remove(0))
+                }
+            }
+            _ => Err(SocketError::Invalid),
+        }
+    }
+
+    /// Pending connections on a listener.
+    pub fn accept_queue_len(&self, sock: SockId) -> usize {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::TcpListen { listen, .. }) => listen.queue.len(),
+            _ => 0,
+        }
+    }
+
+    fn next_iss(&mut self) -> u32 {
+        // BSD increments the ISS clock by 64k per connection (and per
+        // tick); a deterministic counter serves the same purpose here.
+        self.iss_clock = self.iss_clock.wrapping_add(64_000);
+        self.iss_clock
+    }
+
+    /// Starts an active TCP open. The socket must be bound (the port
+    /// manager above allocates ephemeral ports).
+    pub fn connect_tcp(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        remote: InetAddr,
+    ) -> Result<(), SocketError> {
+        let iss = self.next_iss();
+        let (snd, rcv) = self.tcp_bufs;
+        let my_ip = self.ip_addr;
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let local = match &e.state {
+            SockState::TcpUnbound { local } => {
+                let mut l = *local;
+                if l.ip == Ipv4Addr::UNSPECIFIED {
+                    l.ip = my_ip;
+                }
+                if l.port == 0 {
+                    return Err(SocketError::Invalid);
+                }
+                l
+            }
+            SockState::Tcp(_) => return Err(SocketError::IsConnected),
+            _ => return Err(SocketError::Invalid),
+        };
+        let mut tcb = Tcb::new(local, remote, snd, rcv);
+        tcb.mss = tcb.mss.min(self.mss_cap);
+        let actions = tcb.connect(iss);
+        e.state = SockState::Tcp(Box::new(tcb));
+        self.run_tcp_actions(sim, charge, sock, actions);
+        Ok(())
+    }
+
+    /// Connects a UDP socket (sets the default/filtering remote).
+    pub fn connect_udp(&mut self, sock: SockId, remote: InetAddr) -> Result<(), SocketError> {
+        let my_ip = self.ip_addr;
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        match &mut e.state {
+            SockState::Udp(pcb) => {
+                if pcb.local.ip == Ipv4Addr::UNSPECIFIED {
+                    pcb.local.ip = my_ip;
+                }
+                pcb.remote = Some(remote);
+                Ok(())
+            }
+            _ => Err(SocketError::Invalid),
+        }
+    }
+
+    // --- Data transfer ---
+
+    /// `sosend` for TCP: copies `data` into the socket buffer and runs
+    /// the output engine. Returns bytes accepted.
+    pub fn tcp_send(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        data: &[u8],
+    ) -> Result<usize, SocketError> {
+        // Socket-layer entry: space check + mbuf allocation + copyin.
+        // Charged only for bytes actually accepted: a would-block probe
+        // corresponds to the blocked sender's sleep, which the Writable
+        // wakeup path prices.
+        let copy_rate = match self.placement {
+            Placement::Kernel => self.costs.kcopy_byte,
+            _ => self.costs.copy_byte,
+        };
+        let sosend = self.costs.sosend_base;
+        let sync_unit = self.sync_unit();
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Tcp(tcb) = &mut e.state else {
+            return Err(SocketError::NotConnected);
+        };
+        let now = charge.at();
+        let (n, actions) = tcb.send(data, now)?;
+        charge.add_ns(Layer::EntryCopyin, sosend + sync_unit);
+        charge.add_per_byte(Layer::EntryCopyin, copy_rate, n);
+        charge.add_ns(
+            Layer::EntryCopyin,
+            self.costs.mbuf_alloc * (1 + n as u64 / psd_mbuf::MCLBYTES as u64),
+        );
+        self.run_tcp_actions(sim, charge, sock, actions);
+        Ok(n)
+    }
+
+    /// `soreceive` for TCP: copies buffered data out to the caller.
+    /// Returns 0 at EOF; `WouldBlock` when no data is available yet.
+    pub fn tcp_recv(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        buf: &mut [u8],
+    ) -> Result<usize, SocketError> {
+        let copy_rate = match self.placement {
+            Placement::Kernel => self.costs.kcopy_byte,
+            _ => self.costs.copy_byte,
+        };
+        let soreceive = self.costs.soreceive_base;
+        let sync_unit = self.sync_unit();
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Tcp(tcb) = &mut e.state else {
+            return Err(SocketError::NotConnected);
+        };
+        if let Some(err) = tcb.error {
+            return Err(err);
+        }
+        if tcb.readable() == 0 {
+            if tcb.at_eof()
+                || !matches!(
+                    tcb.state,
+                    TcpState::Established
+                        | TcpState::SynSent
+                        | TcpState::SynReceived
+                        | TcpState::FinWait1
+                        | TcpState::FinWait2
+                )
+            {
+                return Ok(0);
+            }
+            return Err(SocketError::WouldBlock);
+        }
+        charge.add_ns(Layer::CopyoutExit, soreceive + 2 * sync_unit);
+        let now = charge.at();
+        let (n, actions) = tcb.recv(buf, now);
+        charge.add_per_byte(Layer::CopyoutExit, copy_rate, n);
+        self.run_tcp_actions(sim, charge, sock, actions);
+        Ok(n)
+    }
+
+    /// `sosend` for UDP. In user-space placements the data is
+    /// *referenced*, not copied ("the user data can be referenced
+    /// instead of copied"); the kernel placement must copy it in.
+    pub fn udp_send(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        data: &[u8],
+        dst: Option<InetAddr>,
+    ) -> Result<usize, SocketError> {
+        if data.len() > UDP_MAXDGRAM {
+            return Err(SocketError::MsgSize);
+        }
+        let my_ip = self.ip_addr;
+        let (local, remote) = {
+            let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+            let SockState::Udp(pcb) = &mut e.state else {
+                return Err(SocketError::Invalid);
+            };
+            if let Some(err) = pcb.error.take() {
+                return Err(err);
+            }
+            let remote = match (dst, pcb.remote) {
+                (Some(d), _) => d,
+                (None, Some(r)) => r,
+                (None, None) => return Err(SocketError::NotConnected),
+            };
+            let mut local = pcb.local;
+            if local.ip == Ipv4Addr::UNSPECIFIED {
+                local.ip = my_ip;
+            }
+            if local.port == 0 {
+                return Err(SocketError::Invalid);
+            }
+            (local, remote)
+        };
+
+        // Socket entry. The library runs the specialized datagram fast
+        // path (§4.3: "the user data can be referenced instead of
+        // copied"); the kernel and server run the stock BSD sosend,
+        // which copies into mbufs.
+        let chain = match self.placement {
+            Placement::Library => {
+                charge.add_ns(Layer::EntryCopyin, self.costs.sosend_dgram_base);
+                MbufChain::from_shared(Rc::new(data.to_vec()))
+            }
+            _ => {
+                charge.add_ns(
+                    Layer::EntryCopyin,
+                    self.costs.sosend_base + self.costs.sosend_dgram_base,
+                );
+                charge.add_per_byte(Layer::EntryCopyin, self.costs.kcopy_byte, data.len());
+                charge.add_ns(Layer::EntryCopyin, self.costs.mbuf_alloc);
+                MbufChain::from_slice(data)
+            }
+        };
+
+        // udp_output: header + checksum over the data. The stock BSD
+        // path re-validates the pcb route on every datagram and takes
+        // the full spl dance; the library caches the session route in
+        // its connected pcb.
+        charge.add_ns(Layer::TcpUdpOutput, self.costs.udp_output_base);
+        match self.placement {
+            Placement::Library => self.sync(charge, Layer::TcpUdpOutput, 1),
+            _ => {
+                self.sync(charge, Layer::TcpUdpOutput, 7);
+                charge.add_ns(
+                    Layer::TcpUdpOutput,
+                    self.costs.pcb_lookup + self.costs.route_lookup / 2,
+                );
+            }
+        }
+        let mut udp = UdpHeader::new(local.port, remote.port, data.len());
+        let ip = Ipv4Header::new(local.ip, remote.ip, IpProto::Udp, udp.len as usize);
+        charge.add_per_byte(
+            Layer::TcpUdpOutput,
+            self.costs.checksum_byte,
+            psd_wire::UDP_HDR_LEN + data.len(),
+        );
+        udp.checksum = udp.checksum_for(&ip, chain.iter_segments());
+        let mut payload = udp.encode().to_vec();
+        payload.extend_from_slice(&chain.to_vec());
+        self.stats.udp_out += 1;
+        self.ip_output(sim, charge, remote.ip, IpProto::Udp, payload)?;
+        Ok(data.len())
+    }
+
+    /// NEWAPI send (§4.2): the application and the protocol share the
+    /// buffer, so no copy is made into the socket queue — the send
+    /// queue references the caller's buffer directly. Only the
+    /// socket-layer entry is charged.
+    pub fn tcp_send_shared(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        data: Rc<Vec<u8>>,
+    ) -> Result<usize, SocketError> {
+        charge.add_ns(Layer::EntryCopyin, self.costs.sosend_base);
+        self.sync(charge, Layer::EntryCopyin, 1);
+        charge.add_ns(Layer::EntryCopyin, self.costs.mbuf_alloc);
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Tcp(tcb) = &mut e.state else {
+            return Err(SocketError::NotConnected);
+        };
+        if let Some(err) = tcb.error {
+            return Err(err);
+        }
+        if !tcb.state.can_send() {
+            return Err(SocketError::Shutdown);
+        }
+        let take = data.len().min(tcb.snd_buf.space());
+        if take == 0 {
+            return Err(SocketError::WouldBlock);
+        }
+        tcb.snd_buf
+            .append(MbufChain::from_shared_range(data, 0, take));
+        let now = charge.at();
+        let actions = tcb.output(now, false);
+        self.run_tcp_actions(sim, charge, sock, actions);
+        Ok(take)
+    }
+
+    /// NEWAPI receive (§4.2): hands the buffered chain to the caller
+    /// without the final copy into a caller-supplied buffer. Returns up
+    /// to `max` bytes as a chain sharing the socket buffer's storage.
+    pub fn tcp_recv_chain(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        max: usize,
+    ) -> Result<MbufChain, SocketError> {
+        let soreceive = self.costs.soreceive_base;
+        let sync_unit = self.sync_unit();
+        let copy_byte = self.costs.copy_byte;
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Tcp(tcb) = &mut e.state else {
+            return Err(SocketError::NotConnected);
+        };
+        if let Some(err) = tcb.error {
+            return Err(err);
+        }
+        if tcb.readable() == 0 {
+            if tcb.at_eof() {
+                return Ok(MbufChain::new());
+            }
+            return Err(SocketError::WouldBlock);
+        }
+        charge.add_ns(Layer::CopyoutExit, soreceive + 2 * sync_unit);
+        let n = tcb.readable().min(max);
+        let (chain, copied) = tcb.rcv_buf.copy_range(0, n);
+        // Cluster-backed data is shared; only small-mbuf slop copies.
+        charge.add_per_byte(Layer::CopyoutExit, copy_byte, copied);
+        tcb.rcv_buf.drop_front(n);
+        let now = charge.at();
+        let actions = tcb.after_user_read(now);
+        self.run_tcp_actions(sim, charge, sock, actions);
+        Ok(chain)
+    }
+
+    /// NEWAPI datagram receive: the datagram chain is handed over
+    /// without a copy.
+    pub fn udp_recv_chain(
+        &mut self,
+        _sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+    ) -> Result<(MbufChain, InetAddr), SocketError> {
+        let soreceive = self.costs.soreceive_base;
+        let sync_unit = self.sync_unit();
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Udp(pcb) = &mut e.state else {
+            return Err(SocketError::Invalid);
+        };
+        if let Some(err) = pcb.error.take() {
+            return Err(err);
+        }
+        let (from, chain) = pcb.dequeue().ok_or(SocketError::WouldBlock)?;
+        charge.add_ns(Layer::CopyoutExit, soreceive + sync_unit);
+        Ok((chain, from))
+    }
+
+    /// `soreceive` for UDP: dequeues one datagram into `buf`.
+    pub fn udp_recv(
+        &mut self,
+        _sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        buf: &mut [u8],
+    ) -> Result<(usize, InetAddr), SocketError> {
+        let copy_rate = match self.placement {
+            Placement::Kernel => self.costs.kcopy_byte,
+            _ => self.costs.copy_byte,
+        };
+        let soreceive = match self.placement {
+            // The library's datagram receive is the specialized fast
+            // path (no record-mark scanning; the queue hands over whole
+            // datagrams).
+            Placement::Library => self.costs.soreceive_base * 5 / 6,
+            _ => self.costs.soreceive_base,
+        };
+        let sync_unit = self.sync_unit();
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Udp(pcb) = &mut e.state else {
+            return Err(SocketError::Invalid);
+        };
+        if let Some(err) = pcb.error.take() {
+            return Err(err);
+        }
+        let (from, chain) = pcb.dequeue().ok_or(SocketError::WouldBlock)?;
+        charge.add_ns(Layer::CopyoutExit, soreceive + sync_unit);
+        let n = chain.len().min(buf.len());
+        chain.copy_to_slice(0, &mut buf[..n]);
+        charge.add_per_byte(Layer::CopyoutExit, copy_rate, n);
+        Ok((n, from))
+    }
+
+    /// Bytes readable without blocking (data, or queued connections for
+    /// a listener).
+    pub fn readable(&self, sock: SockId) -> usize {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::Tcp(tcb)) => tcb.readable(),
+            Some(SockState::Udp(pcb)) => pcb.rcv.len(),
+            Some(SockState::TcpListen { listen, .. }) => listen.queue.len(),
+            _ => 0,
+        }
+    }
+
+    /// Send-buffer space available without blocking.
+    pub fn writable(&self, sock: SockId) -> usize {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::Tcp(tcb)) => tcb.writable(),
+            Some(SockState::Udp(_)) => UDP_MAXDGRAM,
+            _ => 0,
+        }
+    }
+
+    /// True when the peer closed and all data was consumed.
+    pub fn at_eof(&self, sock: SockId) -> bool {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::Tcp(tcb)) => tcb.at_eof(),
+            _ => false,
+        }
+    }
+
+    /// The TCP state, if this is a connection socket.
+    pub fn tcp_state(&self, sock: SockId) -> Option<TcpState> {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::Tcp(tcb)) => Some(tcb.state),
+            _ => None,
+        }
+    }
+
+    /// Smoothed RTT estimate for a connection.
+    pub fn tcp_srtt(&self, sock: SockId) -> Option<SimTime> {
+        match self.socks.get(&sock).map(|e| &e.state) {
+            Some(SockState::Tcp(tcb)) => tcb.srtt(),
+            _ => None,
+        }
+    }
+
+    // --- Close / teardown ---
+
+    /// Orderly close. TCP runs the FIN handshake in the background; the
+    /// socket is deallocated when it completes (or immediately for UDP).
+    pub fn close(&mut self, sim: &mut Sim, charge: &mut Charge, sock: SockId) {
+        let Some(e) = self.socks.get_mut(&sock) else {
+            return;
+        };
+        match &mut e.state {
+            SockState::Tcp(tcb) => {
+                let now = charge.at();
+                let actions = tcb.close(now);
+                self.run_tcp_actions(sim, charge, sock, actions);
+            }
+            SockState::TcpListen { listen, .. } => {
+                // Abort queued, un-accepted connections.
+                let pending = std::mem::take(&mut listen.queue);
+                self.socks.remove(&sock);
+                for child in pending {
+                    self.abort(sim, charge, child);
+                }
+            }
+            SockState::Udp(_) | SockState::TcpUnbound { .. } => {
+                self.remove_sock(sim, sock);
+            }
+        }
+    }
+
+    /// Abortive close (RST for synchronized TCP).
+    pub fn abort(&mut self, sim: &mut Sim, charge: &mut Charge, sock: SockId) {
+        let Some(e) = self.socks.get_mut(&sock) else {
+            return;
+        };
+        if let SockState::Tcp(tcb) = &mut e.state {
+            let actions = tcb.abort();
+            self.run_tcp_actions(sim, charge, sock, actions);
+        } else {
+            self.remove_sock(sim, sock);
+        }
+    }
+
+    fn remove_sock(&mut self, sim: &mut Sim, sock: SockId) {
+        if let Some(e) = self.socks.remove(&sock) {
+            for (_, h) in e.timers {
+                sim.cancel(h);
+            }
+        }
+    }
+
+    /// True if the socket still exists.
+    pub fn exists(&self, sock: SockId) -> bool {
+        self.socks.contains_key(&sock)
+    }
+
+    // --- Migration ---
+
+    /// Exports a session's complete state, removing the socket from
+    /// this stack. Pending timers are cancelled; the importing stack
+    /// re-arms what it needs.
+    pub fn export_session(&mut self, sim: &mut Sim, sock: SockId) -> Option<SessionState> {
+        let mut e = self.socks.remove(&sock)?;
+        for (_, h) in e.timers.drain() {
+            sim.cancel(h);
+        }
+        match &mut e.state {
+            SockState::Tcp(tcb) => Some(SessionState::Tcp(tcb.export())),
+            SockState::Udp(pcb) => Some(SessionState::Udp(pcb.export())),
+            _ => {
+                // Unbound/listening sockets have no migratable state.
+                None
+            }
+        }
+    }
+
+    /// Imports a session exported elsewhere. Buffers are resized to
+    /// this stack's configured defaults (paper: buffers live in virtual
+    /// memory and are reallocated on demand). Re-arms the
+    /// retransmission timer if data is outstanding.
+    pub fn import_session(&mut self, sim: &mut Sim, state: SessionState) -> SockId {
+        match state {
+            SessionState::Tcp(snap) => {
+                let mut tcb = Tcb::import(snap);
+                let (snd, rcv) = self.tcp_bufs;
+                tcb.snd_buf.reserve(snd.max(tcb.snd_buf.hiwat()));
+                tcb.rcv_buf.reserve(rcv.max(tcb.rcv_buf.hiwat()));
+                let rto = tcb.rto();
+                let outstanding = !tcb.snd_buf.is_empty();
+                let sock = self.alloc_sock(SockState::Tcp(Box::new(tcb)));
+                if outstanding {
+                    self.arm_timer(sim, sock, TcpTimer::Rexmt, rto);
+                }
+                sock
+            }
+            SessionState::Udp(snap) => self.alloc_sock(SockState::Udp(UdpPcb::import(snap))),
+        }
+    }
+
+    // --- Output path ---
+
+    fn ip_output(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        payload: Vec<u8>,
+    ) -> Result<(), SocketError> {
+        charge.add_ns(Layer::IpOutput, self.costs.ip_output_base);
+        let mtu = self.ifnet.as_ref().map_or(1500, |i| i.mtu());
+        let mut hdr = Ipv4Header::new(self.ip_addr, dst, proto, payload.len());
+        hdr.ident = self.ident.next();
+        if payload.len() + psd_wire::IPV4_HDR_LEN > mtu {
+            for (fh, fdata) in fragment(&hdr, &payload, mtu) {
+                let mut pkt = fh.encode().to_vec();
+                pkt.extend_from_slice(&fdata);
+                self.ether_output(sim, charge, dst, pkt)?;
+            }
+            Ok(())
+        } else {
+            let mut pkt = hdr.encode().to_vec();
+            pkt.extend_from_slice(&payload);
+            self.ether_output(sim, charge, dst, pkt)
+        }
+    }
+
+    fn ether_output(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        dst: Ipv4Addr,
+        ip_packet: Vec<u8>,
+    ) -> Result<(), SocketError> {
+        charge.add_ns(Layer::EtherOutput, self.costs.ether_output_base);
+        self.sync(charge, Layer::EtherOutput, 3);
+        let Some(next_hop) = self.routes.lookup(dst) else {
+            return Err(SocketError::HostUnreach);
+        };
+        charge.add_ns(Layer::EtherOutput, self.costs.arp_lookup);
+        let now = charge.at();
+        if let Some(mac) = self.arp.lookup(next_hop, now) {
+            self.transmit_ip_frame(sim, charge, mac, ip_packet);
+            return Ok(());
+        }
+        // ARP miss.
+        if self.arp_authoritative {
+            self.arp.enqueue_pending(next_hop, ip_packet);
+            // Request whenever one is due — lost requests are retried
+            // the next time queued traffic (e.g. a TCP SYN
+            // retransmission) prompts resolution.
+            if self.arp.request_due(next_hop, now) {
+                let ifnet = self.ifnet.clone().expect("no ifnet");
+                let req = ArpPacket::request(ifnet.mac(), self.ip_addr, next_hop);
+                let eth = EthernetHeader {
+                    dst: EtherAddr::BROADCAST,
+                    src: ifnet.mac(),
+                    ethertype: EtherType::Arp,
+                };
+                let mut frame = eth.encode().to_vec();
+                frame.extend_from_slice(&req.encode());
+                ifnet.transmit(sim, charge, frame);
+            }
+            Ok(())
+        } else if let Some(mut resolver) = self.arp_resolver.take() {
+            // Library placement: ask the operating system (control RPC,
+            // charged by the resolver).
+            let answer = resolver(sim, charge, next_hop);
+            self.arp_resolver = Some(resolver);
+            match answer {
+                Some(mac) => {
+                    let now = charge.at();
+                    let drained = self.arp.insert(next_hop, mac, now);
+                    debug_assert!(drained.is_empty());
+                    self.transmit_ip_frame(sim, charge, mac, ip_packet);
+                    Ok(())
+                }
+                None => {
+                    // The server is resolving; the packet is dropped
+                    // and the protocol's own retransmission recovers.
+                    self.stats.arp_drops += 1;
+                    Ok(())
+                }
+            }
+        } else {
+            self.stats.arp_drops += 1;
+            Ok(())
+        }
+    }
+
+    fn transmit_ip_frame(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        dst_mac: EtherAddr,
+        ip_packet: Vec<u8>,
+    ) {
+        let ifnet = self.ifnet.clone().expect("no ifnet");
+        let eth = EthernetHeader {
+            dst: dst_mac,
+            src: ifnet.mac(),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut frame = eth.encode().to_vec();
+        frame.extend_from_slice(&ip_packet);
+        ifnet.transmit(sim, charge, frame);
+    }
+
+    // --- Input path ---
+
+    /// Feeds one received Ethernet frame into the stack. The caller has
+    /// already charged interrupt/demultiplex/delivery costs; this
+    /// charges mbuf packaging, `ipintr`, protocol input, and any
+    /// wakeups.
+    pub fn input_frame(&mut self, sim: &mut Sim, charge: &mut Charge, frame: &[u8]) {
+        self.stats.frames_in += 1;
+        let Ok(eth) = EthernetHeader::parse(frame) else {
+            return;
+        };
+        // Package the packet as an mbuf chain and queue it on the
+        // protocol input queue. (The monolithic kernel does this inside
+        // its netisr accounting — Table 4 shows zero for this row.)
+        if self.placement != Placement::Kernel {
+            charge.add_ns(Layer::MbufQueue, self.costs.mbuf_alloc);
+            charge.add_ns(Layer::MbufQueue, self.costs.sbappend_base / 2);
+            self.sync(charge, Layer::MbufQueue, 3);
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.arp_input(sim, charge, &frame[ETHER_HDR_LEN..], eth.src),
+            EtherType::Ipv4 => self.ip_input(sim, charge, &frame[ETHER_HDR_LEN..]),
+            EtherType::Other(_) => {}
+        }
+    }
+
+    fn arp_input(&mut self, sim: &mut Sim, charge: &mut Charge, pkt: &[u8], _src: EtherAddr) {
+        let Ok(arp) = ArpPacket::parse(pkt) else {
+            return;
+        };
+        let now = charge.at();
+        // Learn the sender's mapping (all stacks cache; the server is
+        // authoritative).
+        let drained = self.arp.insert(arp.sender_ip, arp.sender_mac, now);
+        for pending in drained {
+            self.transmit_ip_frame(sim, charge, arp.sender_mac, pending);
+        }
+        if arp.op == ArpOp::Request && arp.target_ip == self.ip_addr && self.arp_authoritative {
+            let ifnet = self.ifnet.clone().expect("no ifnet");
+            let reply = arp.reply_to(ifnet.mac());
+            let eth = EthernetHeader {
+                dst: arp.sender_mac,
+                src: ifnet.mac(),
+                ethertype: EtherType::Arp,
+            };
+            let mut frame = eth.encode().to_vec();
+            frame.extend_from_slice(&reply.encode());
+            ifnet.transmit(sim, charge, frame);
+        }
+    }
+
+    fn ip_input(&mut self, sim: &mut Sim, charge: &mut Charge, pkt: &[u8]) {
+        charge.add_ns(Layer::IpIntr, self.costs.ip_input_base);
+        self.sync(charge, Layer::IpIntr, 3);
+        let Ok(hdr) = Ipv4Header::parse(pkt) else {
+            self.stats.checksum_errors += 1;
+            return;
+        };
+        if hdr.dst != self.ip_addr && self.placement == Placement::Library {
+            // Filters should prevent this; drop defensively.
+            return;
+        }
+        let payload = &pkt[hdr.header_len..usize::from(hdr.total_len)];
+        if hdr.is_fragment() {
+            let now = charge.at();
+            if let Some((whole, data)) = self.reasm.insert(&hdr, payload, now) {
+                self.stats.reassembled += 1;
+                self.dispatch_transport(sim, charge, &whole, &data);
+            }
+            return;
+        }
+        self.dispatch_transport(sim, charge, &hdr, payload);
+    }
+
+    fn dispatch_transport(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        ip: &Ipv4Header,
+        payload: &[u8],
+    ) {
+        match ip.proto {
+            IpProto::Udp => self.udp_input(sim, charge, ip, payload),
+            IpProto::Tcp => self.tcp_input(sim, charge, ip, payload),
+            IpProto::Icmp => self.icmp_input(sim, charge, ip, payload),
+            IpProto::Other(_) => {}
+        }
+    }
+
+    fn udp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {
+        charge.add_ns(Layer::TcpUdpInput, self.costs.udp_input_base);
+        self.sync(charge, Layer::TcpUdpInput, 1);
+        let Ok(udp) = UdpHeader::parse(pkt) else {
+            return;
+        };
+        let data_len = usize::from(udp.len).saturating_sub(psd_wire::UDP_HDR_LEN);
+        if pkt.len() < psd_wire::UDP_HDR_LEN + data_len {
+            return;
+        }
+        let data = &pkt[psd_wire::UDP_HDR_LEN..psd_wire::UDP_HDR_LEN + data_len];
+        charge.add_per_byte(Layer::TcpUdpInput, self.costs.checksum_byte, pkt.len());
+        if !udp.verify(ip, pkt, std::iter::once(data)) {
+            self.stats.checksum_errors += 1;
+            return;
+        }
+        self.stats.udp_in += 1;
+        let dst = InetAddr::new(ip.dst, udp.dst_port);
+        let src = InetAddr::new(ip.src, udp.src_port);
+
+        // in_pcblookup: best-scoring pcb wins.
+        let mut best: Option<(SockId, u32)> = None;
+        for (id, e) in &self.socks {
+            if let SockState::Udp(pcb) = &e.state {
+                if let Some(score) = pcb.match_score(dst, src) {
+                    if best.is_none_or(|(_, s)| score > s) {
+                        best = Some((*id, score));
+                    }
+                }
+            }
+        }
+        let Some((sock, _)) = best else {
+            // No local socket: give the server's forwarding hook a
+            // chance (migrated sessions receiving reassembled
+            // fragments), then ICMP port unreachable.
+            if let Some(hook) = self.unclaimed_udp.clone() {
+                if hook.borrow_mut()(sim, dst, src, data) {
+                    return;
+                }
+            }
+            self.stats.no_socket += 1;
+            if self.arp_authoritative {
+                let mut quoted = ip.encode().to_vec();
+                quoted.extend_from_slice(&pkt[..pkt.len().min(8)]);
+                let (ih, ipayload) = icmp::port_unreachable(self.ip_addr, ip.src, &quoted);
+                let mut ippkt = ih.encode().to_vec();
+                ippkt.extend_from_slice(&ipayload);
+                let _ = self.ether_output(sim, charge, ip.src, ippkt);
+            }
+            return;
+        };
+        // sbappendaddr + wakeup.
+        charge.add_ns(Layer::TcpUdpInput, self.costs.sbappend_base);
+        let e = self.socks.get_mut(&sock).expect("sock chosen above");
+        let SockState::Udp(pcb) = &mut e.state else {
+            unreachable!("scored as UDP");
+        };
+        let was_empty = pcb.rcv.is_empty();
+        if pcb.enqueue(src, MbufChain::from_slice(data)) {
+            self.notify(sim, charge, sock, SockEvent::Readable, was_empty);
+        }
+    }
+
+    fn tcp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {
+        charge.add_ns(Layer::TcpUdpInput, self.costs.tcp_input_base);
+        self.sync(charge, Layer::TcpUdpInput, 2);
+        let Ok((hdr, hdr_len)) = TcpHeader::parse(pkt) else {
+            return;
+        };
+        charge.add_per_byte(Layer::TcpUdpInput, self.costs.checksum_byte, pkt.len());
+        if !TcpHeader::verify(
+            ip,
+            &pkt[..hdr_len],
+            pkt.len() - hdr_len,
+            std::iter::once(&pkt[hdr_len..]),
+        ) {
+            self.stats.checksum_errors += 1;
+            return;
+        }
+        self.stats.tcp_in += 1;
+        let payload = &pkt[hdr_len..];
+        let local = InetAddr::new(ip.dst, hdr.dst_port);
+        let remote = InetAddr::new(ip.src, hdr.src_port);
+
+        // Exact connection match first.
+        let mut target: Option<SockId> = None;
+        for (id, e) in &self.socks {
+            if let SockState::Tcp(tcb) = &e.state {
+                if tcb.local == local && tcb.remote == remote && tcb.state != TcpState::Closed {
+                    target = Some(*id);
+                    break;
+                }
+            }
+        }
+        if target.is_none() {
+            // Listener match (SYN only).
+            if hdr.flags.contains(psd_wire::TcpFlags::SYN)
+                && !hdr.flags.contains(psd_wire::TcpFlags::ACK)
+            {
+                for (id, e) in &self.socks {
+                    if let SockState::TcpListen { local: ll, .. } = &e.state {
+                        if ll.port == local.port
+                            && (ll.ip == Ipv4Addr::UNSPECIFIED || ll.ip == local.ip)
+                        {
+                            target = Some(*id);
+                            break;
+                        }
+                    }
+                }
+                if let Some(listener) = target {
+                    self.tcp_passive_open(sim, charge, listener, local, remote, &hdr);
+                    return;
+                }
+            }
+            // No socket. A session migrated into an application may
+            // still see stragglers here; the server's hook suppresses
+            // the RST for those (the application's copy is live).
+            if let Some(hook) = self.stray_tcp.clone() {
+                if hook.borrow_mut()(local, remote) {
+                    return;
+                }
+            }
+            self.stats.no_socket += 1;
+            let mut closed = Tcb::new(local, remote, 0, 0);
+            let now = charge.at();
+            let actions = closed.input(&hdr, payload, now);
+            for a in actions {
+                if let TcpAction::Send(spec) = a {
+                    self.emit_segment(sim, charge, &spec);
+                }
+            }
+            return;
+        }
+        let sock = target.expect("checked above");
+        let now = charge.at();
+        let actions = {
+            let e = self.socks.get_mut(&sock).expect("matched above");
+            let SockState::Tcp(tcb) = &mut e.state else {
+                unreachable!("matched as TCP");
+            };
+            tcb.input(&hdr, payload, now)
+        };
+        self.run_tcp_actions(sim, charge, sock, actions);
+    }
+
+    fn tcp_passive_open(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        listener: SockId,
+        local: InetAddr,
+        remote: InetAddr,
+        syn: &TcpHeader,
+    ) {
+        // Backlog check: both completed (accept queue) and embryonic
+        // (handshake in progress) connections count, as BSD's
+        // `so_qlen + so_q0len` does.
+        let embryonic = self
+            .pending_children
+            .iter()
+            .filter(|(l, _)| *l == listener)
+            .count();
+        let full = match self.socks.get(&listener).map(|e| &e.state) {
+            Some(SockState::TcpListen { listen, .. }) => {
+                listen.queue.len() + embryonic >= listen.backlog
+            }
+            _ => true,
+        };
+        if full {
+            return; // Drop the SYN; the peer retries.
+        }
+        let iss = self.next_iss();
+        let (snd, rcv) = self.tcp_bufs;
+        let capped_mss = syn.mss.map(|m| m.min(self.mss_cap)).or(Some(self.mss_cap));
+        let (tcb, actions) = Tcb::accept_syn(
+            local, remote, iss, syn.seq, capped_mss, syn.window, snd, rcv,
+        );
+        let child = self.alloc_sock(SockState::Tcp(Box::new(tcb)));
+        // The child inherits the listener's sink so Connected is seen.
+        let parent_sink = self.socks.get(&listener).and_then(|e| e.sink.clone());
+        if let Some(sink) = parent_sink {
+            self.set_sink(child, sink);
+        }
+        // Remember which listener owns this embryonic connection.
+        self.pending_children.push((listener, child));
+        self.run_tcp_actions(sim, charge, child, actions);
+    }
+
+    // --- TCP action execution ---
+
+    fn run_tcp_actions(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        actions: Vec<TcpAction>,
+    ) {
+        let mut notified_readable = false;
+        let mut notified_writable = false;
+        for action in actions {
+            match action {
+                TcpAction::Send(spec) => self.emit_segment(sim, charge, &spec),
+                TcpAction::SetTimer(kind, delay) => self.arm_timer(sim, sock, kind, delay),
+                TcpAction::CancelTimer(kind) => {
+                    if let Some(e) = self.socks.get_mut(&sock) {
+                        if let Some(h) = e.timers.remove(&kind) {
+                            sim.cancel(h);
+                        }
+                    }
+                }
+                TcpAction::Deliver { wake } => {
+                    if !notified_readable {
+                        notified_readable = true;
+                        self.notify(sim, charge, sock, SockEvent::Readable, wake);
+                    }
+                }
+                TcpAction::WakeWriters => {
+                    if !notified_writable {
+                        notified_writable = true;
+                        self.notify(sim, charge, sock, SockEvent::Writable, false);
+                    }
+                }
+                TcpAction::Connected => {
+                    // If this is an embryonic child, move it to its
+                    // listener's accept queue.
+                    if let Some(pos) = self.pending_children.iter().position(|(_, c)| *c == sock) {
+                        let (listener, child) = self.pending_children.remove(pos);
+                        if let Some(SockEntry {
+                            state: SockState::TcpListen { listen, .. },
+                            ..
+                        }) = self.socks.get_mut(&listener)
+                        {
+                            listen.queue.push(child);
+                        }
+                        self.notify(sim, charge, listener, SockEvent::Readable, true);
+                    } else {
+                        self.notify(sim, charge, sock, SockEvent::Connected, true);
+                    }
+                }
+                TcpAction::PeerClosed => {
+                    self.notify(sim, charge, sock, SockEvent::PeerClosed, true);
+                }
+                TcpAction::Fail(err) => {
+                    self.pending_children.retain(|(_, c)| *c != sock);
+                    self.notify(sim, charge, sock, SockEvent::Error(err), true);
+                }
+                TcpAction::Free => {
+                    // Cancel timers; the entry itself stays until the
+                    // owner closes the descriptor (so errors/EOF remain
+                    // observable). The owner is told it may clean up.
+                    if let Some(e) = self.socks.get_mut(&sock) {
+                        e.generation += 1;
+                        for (_, h) in e.timers.drain() {
+                            sim.cancel(h);
+                        }
+                    }
+                    self.notify(sim, charge, sock, SockEvent::Closed, false);
+                }
+            }
+        }
+    }
+
+    fn emit_segment(&mut self, sim: &mut Sim, charge: &mut Charge, spec: &SegmentSpec) {
+        self.stats.tcp_out += 1;
+        if spec.rexmit {
+            self.stats.tcp_rexmt += 1;
+        }
+        charge.add_ns(Layer::TcpUdpOutput, self.costs.tcp_output_base);
+        // The sosend→tcp_output path raises/lowers the priority level
+        // about seven times in BSD (sblock, sbappend, splnet around
+        // output, sbunlock…) — cheap as hardware spl, expensive as the
+        // server's emulation, light as user locks.
+        self.sync(charge, Layer::TcpUdpOutput, 7);
+        charge.add_ns(
+            Layer::TcpUdpOutput,
+            self.costs.mbuf_alloc * (1 + spec.data.mbuf_count() as u64),
+        );
+        let hdr = spec.header();
+        let ip = Ipv4Header::new(
+            spec.local.ip,
+            spec.remote.ip,
+            IpProto::Tcp,
+            hdr.header_len() + spec.data.len(),
+        );
+        charge.add_per_byte(
+            Layer::TcpUdpOutput,
+            self.costs.checksum_byte,
+            hdr.header_len() + spec.data.len(),
+        );
+        let tcp_bytes = hdr.encode_with_checksum(&ip, spec.data.len(), spec.data.iter_segments());
+        let mut payload = tcp_bytes;
+        payload.extend_from_slice(&spec.data.to_vec());
+        let _ = self.ip_output(sim, charge, spec.remote.ip, IpProto::Tcp, payload);
+    }
+
+    fn icmp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {
+        self.stats.icmp_in += 1;
+        charge.add_ns(Layer::TcpUdpInput, self.costs.udp_input_base / 2);
+        let Ok(msg) = IcmpMessage::parse(pkt) else {
+            self.stats.checksum_errors += 1;
+            return;
+        };
+        // Echo: answered by the authoritative (OS) stack.
+        if self.arp_authoritative {
+            if let Some((rip, rpayload)) = icmp::echo_reply(ip, &msg) {
+                let mut ippkt = rip.encode().to_vec();
+                ippkt.extend_from_slice(&rpayload);
+                let _ = self.ether_output(sim, charge, rip.dst, ippkt);
+                return;
+            }
+        }
+        // Port unreachable → error on the matching connected UDP socket.
+        if let Some((dst_ip, dst_port, src_port)) = icmp::parse_unreachable_udp(&msg) {
+            let mut hit = None;
+            for (id, e) in &self.socks {
+                if let SockState::Udp(pcb) = &e.state {
+                    if pcb.local.port == src_port
+                        && pcb.remote == Some(InetAddr::new(dst_ip, dst_port))
+                    {
+                        hit = Some(*id);
+                        break;
+                    }
+                }
+            }
+            if let Some(sock) = hit {
+                if let Some(SockEntry {
+                    state: SockState::Udp(pcb),
+                    ..
+                }) = self.socks.get_mut(&sock)
+                {
+                    pcb.error = Some(SocketError::ConnRefused);
+                }
+                self.notify(
+                    sim,
+                    charge,
+                    sock,
+                    SockEvent::Error(SocketError::ConnRefused),
+                    true,
+                );
+            }
+        }
+    }
+
+    // --- Timers and notification ---
+
+    fn arm_timer(&mut self, sim: &mut Sim, sock: SockId, kind: TcpTimer, delay: SimTime) {
+        let me = self.me.clone();
+        let generation = self.socks.get(&sock).map_or(0, |e| e.generation);
+        let handle = sim.after(delay, move |sim| {
+            let Some(stack) = me.upgrade() else { return };
+            let mut s = stack.borrow_mut();
+            let Some(e) = s.socks.get_mut(&sock) else {
+                return;
+            };
+            if e.generation != generation {
+                return; // Stale timer across close/migration.
+            }
+            e.timers.remove(&kind);
+            let cpu = s.cpu.clone();
+            let mut charge = cpu.borrow_mut().begin(sim.now());
+            charge.add_ns(Layer::Other, s.costs.timer_op);
+            let now = charge.at();
+            let actions = {
+                let Some(SockEntry {
+                    state: SockState::Tcp(tcb),
+                    ..
+                }) = s.socks.get_mut(&sock)
+                else {
+                    cpu.borrow_mut().finish(charge);
+                    return;
+                };
+                tcb.timer(kind, now)
+            };
+            s.run_tcp_actions(sim, &mut charge, sock, actions);
+            cpu.borrow_mut().finish(charge);
+        });
+        if let Some(e) = self.socks.get_mut(&sock) {
+            if let Some(old) = e.timers.insert(kind, handle) {
+                sim.cancel(old);
+            }
+            // Charge the timer manipulation to the current path via the
+            // caller's charge — done at call sites that care.
+        } else {
+            sim.cancel(handle);
+        }
+    }
+
+    /// Fires a socket event to its sink (scheduled; the sink may call
+    /// back into the stack). `charge_wakeup` prices waking the blocked
+    /// application thread, which differs per placement.
+    fn notify(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        event: SockEvent,
+        charge_wakeup: bool,
+    ) {
+        let Some(e) = self.socks.get(&sock) else {
+            return;
+        };
+        let Some(sink) = e.sink.clone() else {
+            return;
+        };
+        if charge_wakeup {
+            let cost = self.costs.sched_wakeup
+                + match self.placement {
+                    Placement::Kernel => 0,
+                    Placement::Library => self.costs.cthread_switch,
+                    Placement::Server => 7 * self.costs.spl_server,
+                };
+            charge.add_ns(Layer::WakeupUserThread, cost);
+        }
+        let at = charge.at();
+        sim.at(at, move |sim| {
+            sink.borrow_mut()(sim, sock, event);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,163 @@
+//! The TCP/UDP port namespace.
+//!
+//! "It is necessary to interact with a local IP port manager to ensure
+//! that the endpoint is uniquely named; the operating system is a
+//! convenient place to implement this manager" (§3.2). The namespace is
+//! long-lived shared state owned by the server, never by applications.
+
+use psd_netstack::SocketError;
+use std::collections::HashSet;
+
+/// First ephemeral port (BSD `IPPORT_RESERVED`).
+pub const EPHEMERAL_FIRST: u16 = 1024;
+/// Last ephemeral port (BSD `IPPORT_USERRESERVED`).
+pub const EPHEMERAL_LAST: u16 = 5000;
+
+/// Transport protocols with distinct port spaces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Proto {
+    /// TCP.
+    Tcp,
+    /// UDP.
+    Udp,
+}
+
+/// The per-host port allocator.
+#[derive(Debug)]
+pub struct PortNamespace {
+    used: HashSet<(Proto, u16)>,
+    next_ephemeral: u16,
+}
+
+impl PortNamespace {
+    /// An empty namespace.
+    pub fn new() -> PortNamespace {
+        PortNamespace {
+            used: HashSet::new(),
+            next_ephemeral: EPHEMERAL_FIRST,
+        }
+    }
+
+    /// Claims a specific port. Fails with `AddrInUse` if taken.
+    pub fn claim(&mut self, proto: Proto, port: u16) -> Result<u16, SocketError> {
+        if port == 0 {
+            return self.alloc_ephemeral(proto);
+        }
+        if self.used.insert((proto, port)) {
+            Ok(port)
+        } else {
+            Err(SocketError::AddrInUse)
+        }
+    }
+
+    /// Allocates an ephemeral port.
+    pub fn alloc_ephemeral(&mut self, proto: Proto) -> Result<u16, SocketError> {
+        let span = (EPHEMERAL_LAST - EPHEMERAL_FIRST) as u32 + 1;
+        for _ in 0..span {
+            let candidate = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral >= EPHEMERAL_LAST {
+                EPHEMERAL_FIRST
+            } else {
+                self.next_ephemeral + 1
+            };
+            if self.used.insert((proto, candidate)) {
+                return Ok(candidate);
+            }
+        }
+        Err(SocketError::NoBufs)
+    }
+
+    /// Releases a port.
+    pub fn release(&mut self, proto: Proto, port: u16) {
+        self.used.remove(&(proto, port));
+    }
+
+    /// True if the port is currently claimed.
+    pub fn in_use(&self, proto: Proto, port: u16) -> bool {
+        self.used.contains(&(proto, port))
+    }
+
+    /// Number of claimed ports.
+    pub fn len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// True if nothing is claimed.
+    pub fn is_empty(&self) -> bool {
+        self.used.is_empty()
+    }
+}
+
+impl Default for PortNamespace {
+    fn default() -> PortNamespace {
+        PortNamespace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_is_exclusive() {
+        let mut p = PortNamespace::new();
+        assert_eq!(p.claim(Proto::Tcp, 80), Ok(80));
+        assert_eq!(p.claim(Proto::Tcp, 80), Err(SocketError::AddrInUse));
+        // The UDP space is separate.
+        assert_eq!(p.claim(Proto::Udp, 80), Ok(80));
+    }
+
+    #[test]
+    fn release_allows_reclaim() {
+        let mut p = PortNamespace::new();
+        p.claim(Proto::Tcp, 80).unwrap();
+        p.release(Proto::Tcp, 80);
+        assert_eq!(p.claim(Proto::Tcp, 80), Ok(80));
+    }
+
+    #[test]
+    fn ephemeral_ports_unique_and_in_range() {
+        let mut p = PortNamespace::new();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let port = p.alloc_ephemeral(Proto::Udp).unwrap();
+            assert!((EPHEMERAL_FIRST..=EPHEMERAL_LAST).contains(&port));
+            assert!(seen.insert(port), "duplicate ephemeral {port}");
+        }
+    }
+
+    #[test]
+    fn claim_port_zero_allocates_ephemeral() {
+        let mut p = PortNamespace::new();
+        let port = p.claim(Proto::Tcp, 0).unwrap();
+        assert!((EPHEMERAL_FIRST..=EPHEMERAL_LAST).contains(&port));
+        assert!(p.in_use(Proto::Tcp, port));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut p = PortNamespace::new();
+        let span = (EPHEMERAL_LAST - EPHEMERAL_FIRST) as usize + 1;
+        for _ in 0..span {
+            p.alloc_ephemeral(Proto::Tcp).unwrap();
+        }
+        assert_eq!(p.alloc_ephemeral(Proto::Tcp), Err(SocketError::NoBufs));
+        // Other protocol unaffected.
+        assert!(p.alloc_ephemeral(Proto::Udp).is_ok());
+    }
+
+    #[test]
+    fn wraps_around_released_ports() {
+        let mut p = PortNamespace::new();
+        let span = (EPHEMERAL_LAST - EPHEMERAL_FIRST) as usize + 1;
+        let mut first = 0;
+        for i in 0..span {
+            let port = p.alloc_ephemeral(Proto::Tcp).unwrap();
+            if i == 0 {
+                first = port;
+            }
+        }
+        p.release(Proto::Tcp, first);
+        assert_eq!(p.alloc_ephemeral(Proto::Tcp), Ok(first));
+    }
+}

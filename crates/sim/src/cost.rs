@@ -1,0 +1,339 @@
+//! The calibrated cost model.
+//!
+//! Every primitive operation the simulated software performs — traps,
+//! IPC, copies, checksums, locks, wakeups, interrupt dispatch — has a
+//! unit cost here, in nanoseconds (per operation, or per byte where
+//! noted). Configurations never receive bespoke latency constants: they
+//! differ only in *which* operations their code paths perform, and the
+//! shared unit costs price those operations.
+//!
+//! Calibration: the DECstation 5000/200 values are fit to Table 4 of the
+//! paper, which gives per-layer microsecond budgets for the library-based
+//! (SHM-IPF), kernel-based (Mach 2.5) and server-based (UX) stacks at
+//! minimum and maximum message sizes. Each constant is annotated with the
+//! Table 4 cells that pin it down. The Gateway i486 values are scaled
+//! from the DECstation fit using the Table 2 Gateway rows; its dominant
+//! feature is the 3C503's programmed-I/O data path (8-bit transfers),
+//! which the paper blames for the Gateway's low throughput.
+
+/// Hardware platforms evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Platform {
+    /// DECstation 5000/200: 25 MHz MIPS R3000, Lance (DMA) Ethernet.
+    DecStation5000_200,
+    /// Gateway PC: 33 MHz i486, 3Com 3C503 (PIO) Ethernet.
+    Gateway486,
+}
+
+impl Platform {
+    /// The cost model for this platform.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            Platform::DecStation5000_200 => CostModel::decstation_5000_200(),
+            Platform::Gateway486 => CostModel::gateway_i486(),
+        }
+    }
+
+    /// Display name used in table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::DecStation5000_200 => "DECstation 5000/200",
+            Platform::Gateway486 => "Gateway 486",
+        }
+    }
+}
+
+/// Unit costs for primitive operations, in nanoseconds.
+///
+/// Grouped by mechanism. "Per byte" fields are multiplied by the length
+/// of the data actually moved/checksummed by the executing code.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    // --- Protection boundaries and IPC ---
+    /// A system-call trap pair (enter + exit kernel).
+    /// Fit: kernel `entry/copyin` (50 µs) minus library (19 µs) ≈ trap.
+    pub trap: u64,
+    /// Base cost of a Mach RPC round trip between tasks (marshalling,
+    /// two messages, scheduling), excluding per-byte costs.
+    /// Fit: server `entry/copyin` at 1 B is 254 µs ≈ trap + rpc + entry.
+    pub rpc_base: u64,
+    /// One-way Mach IPC message delivery (packet-filter IPC path).
+    pub ipc_oneway: u64,
+    /// Per-byte cost of each copy made by the IPC data path. The paper
+    /// counts four copies per RPC with data (§4.3 "entry/copyin").
+    /// Fit: server slope (579−254)/1459 ≈ 4 × 56 ns/B.
+    pub ipc_copy_byte: u64,
+
+    // --- Memory movement ---
+    /// User-space memcpy, per byte (library copyin to mbufs).
+    /// Fit: library `entry/copyin` slope (203−19)/1459 ≈ 126 ns/B.
+    pub copy_byte: u64,
+    /// Optimized kernel copyin/copyout, per byte.
+    /// Fit: kernel `entry/copyin` slope (153−50)/1459 ≈ 70 ns/B.
+    pub kcopy_byte: u64,
+    /// Copying packet data that is already cache-warm in kernel memory
+    /// (the packet-filter delivery copies). Fit: server `kernel
+    /// copyout` slope (148−113)/1459 ≈ 24 ns/B — "the copy is from
+    /// kernel memory, which has lower read latency than network device
+    /// memory".
+    pub kcopy_cached_byte: u64,
+    /// Reading device memory, per byte (Lance buffer → host).
+    /// Fit: library `kernel copyout` slope (534−123)/1459 ≈ 282 ns/B.
+    pub dev_read_byte: u64,
+    /// Writing device memory, per byte.
+    pub dev_write_byte: u64,
+    /// Internet checksum, per byte.
+    /// Fit: `tcp_output` slope (328−82)/1459 ≈ 168 ns/B (lib and kernel
+    /// agree: (307−65)/1459 ≈ 166 ns/B).
+    pub checksum_byte: u64,
+
+    // --- Allocation ---
+    /// Allocating one mbuf (header or cluster ref).
+    pub mbuf_alloc: u64,
+    /// Freeing one mbuf.
+    pub mbuf_free: u64,
+
+    // --- Synchronization ---
+    /// A light user-space lock acquire/release pair (library protocol
+    /// stack; "internally synchronizes using less expensive locks").
+    pub lock_light: u64,
+    /// A hardware interrupt-priority (spl) raise/lower pair in the real
+    /// kernel — cheap.
+    pub spl_kernel: u64,
+    /// An emulated spl raise/lower pair in the UX server: "simulates
+    /// hardware interrupt priorities using locks and condition
+    /// variables, resulting in expensive priority manipulation".
+    /// Fit: server vs kernel `tcp_output` gap (224−65 µs) over the ~8
+    /// spl transitions on that path ≈ 20 µs each.
+    pub spl_server: u64,
+
+    // --- Scheduling ---
+    /// Waking a kernel thread and dispatching it (kernel `wakeup user
+    /// thread` = 54 µs).
+    pub sched_wakeup: u64,
+    /// A user-level (cthreads) context switch, paid when the library's
+    /// network thread hands off to the application thread.
+    /// Fit: library wakeup (92 µs) − sched_wakeup (54 µs) ≈ 38 µs.
+    pub cthread_switch: u64,
+    /// Fielding a device interrupt (library `device intr/read` ≈ 42 µs,
+    /// flat — the SHM-IPF path defers the body copy).
+    pub intr_dispatch: u64,
+    /// Setting up the wired kernel receive buffer on paths that copy the
+    /// packet out of the device at interrupt time.
+    /// Fit: kernel `device intr/read` base (77 µs) − intr_dispatch.
+    pub rx_kbuf_setup: u64,
+    /// Extra interrupt/scheduling penalty for systems with inefficient
+    /// interrupt handling. Zero except for 386BSD ("inefficiencies in
+    /// the way that the 386BSD kernel handles network interrupts and
+    /// scheduling").
+    pub intr_penalty: u64,
+
+    // --- Demultiplexing ---
+    /// netisr dispatch (softirq-level hand-off to the IP input queue).
+    pub netisr: u64,
+    /// Executing one packet-filter VM instruction.
+    pub filter_insn: u64,
+    /// In-kernel protocol control block lookup (the kernel stack demuxes
+    /// with a pcb hash walk instead of a filter program).
+    pub pcb_lookup: u64,
+
+    // --- Protocol-layer instruction budgets (placement-independent) ---
+    /// Socket-layer send entry (sosend header work, space check).
+    pub sosend_base: u64,
+    /// Socket-layer receive exit (soreceive bookkeeping).
+    pub soreceive_base: u64,
+    /// Datagram send entry, which references rather than copies data in
+    /// the library (library UDP `entry/copyin` is 6–7 µs, flat).
+    pub sosend_dgram_base: u64,
+    /// `tcp_output` fixed work: header template, sequence bookkeeping.
+    pub tcp_output_base: u64,
+    /// `tcp_input` fixed work: header prediction, sequence processing.
+    pub tcp_input_base: u64,
+    /// `udp_output` fixed work.
+    pub udp_output_base: u64,
+    /// `udp_input` fixed work.
+    pub udp_input_base: u64,
+    /// `ip_output` fixed work (header + route cache hit).
+    pub ip_output_base: u64,
+    /// `ipintr` fixed work per packet.
+    pub ip_input_base: u64,
+    /// Ethernet output fixed work (ARP cache hit + framing).
+    pub ether_output_base: u64,
+    /// Queueing an mbuf chain on a socket buffer (`sbappend`).
+    pub sbappend_base: u64,
+    /// Route table lookup miss path (consult the server / full lookup).
+    pub route_lookup: u64,
+    /// ARP cache lookup hit.
+    pub arp_lookup: u64,
+    /// Arming or disarming a protocol timer.
+    pub timer_op: u64,
+}
+
+impl CostModel {
+    /// DECstation 5000/200 calibration (see field docs for the fit).
+    pub fn decstation_5000_200() -> CostModel {
+        CostModel {
+            trap: 42_000,
+            rpc_base: 185_000,
+            ipc_oneway: 80_000,
+            ipc_copy_byte: 40,
+            copy_byte: 126,
+            kcopy_byte: 70,
+            kcopy_cached_byte: 24,
+            dev_read_byte: 282,
+            dev_write_byte: 20,
+            checksum_byte: 167,
+            mbuf_alloc: 2_500,
+            mbuf_free: 1_000,
+            lock_light: 3_000,
+            spl_kernel: 2_000,
+            spl_server: 22_000,
+            sched_wakeup: 54_000,
+            cthread_switch: 38_000,
+            intr_dispatch: 40_000,
+            rx_kbuf_setup: 22_000,
+            intr_penalty: 0,
+            netisr: 25_000,
+            filter_insn: 4_000,
+            pcb_lookup: 65_000,
+            sosend_base: 14_000,
+            soreceive_base: 18_000,
+            sosend_dgram_base: 6_000,
+            tcp_output_base: 58_000,
+            tcp_input_base: 72_000,
+            udp_output_base: 16_000,
+            udp_input_base: 50_000,
+            ip_output_base: 20_000,
+            ip_input_base: 28_000,
+            ether_output_base: 52_000,
+            sbappend_base: 16_000,
+            route_lookup: 40_000,
+            arp_lookup: 12_000,
+            timer_op: 3_000,
+        }
+    }
+
+    /// Gateway i486 calibration. The i486 is "comparable in performance
+    /// to the R3000" for compute, but the 3C503 moves data 8 bits at a
+    /// time over the ISA bus, which dominates: Table 2 Gateway latencies
+    /// are ≈1.5–2× the DECstation's and throughput tops out near
+    /// 460–500 KB/s.
+    pub fn gateway_i486() -> CostModel {
+        CostModel {
+            // Compute-bound unit costs: ≈1.35× the R3000 fit (i486 traps
+            // and memory system are slower despite the higher clock).
+            trap: 55_000,
+            rpc_base: 250_000,
+            ipc_oneway: 105_000,
+            ipc_copy_byte: 55,
+            copy_byte: 160,
+            kcopy_byte: 95,
+            kcopy_cached_byte: 40,
+            // The PIO data path: ≈0.9 µs per byte each way through the
+            // 3C503's shared memory window.
+            dev_read_byte: 900,
+            dev_write_byte: 900,
+            checksum_byte: 190,
+            mbuf_alloc: 3_200,
+            mbuf_free: 1_300,
+            lock_light: 4_000,
+            spl_kernel: 2_600,
+            spl_server: 26_000,
+            sched_wakeup: 70_000,
+            cthread_switch: 48_000,
+            intr_dispatch: 55_000,
+            rx_kbuf_setup: 30_000,
+            intr_penalty: 0,
+            netisr: 32_000,
+            filter_insn: 5_000,
+            pcb_lookup: 80_000,
+            sosend_base: 18_000,
+            soreceive_base: 23_000,
+            sosend_dgram_base: 8_000,
+            tcp_output_base: 75_000,
+            tcp_input_base: 90_000,
+            udp_output_base: 21_000,
+            udp_input_base: 62_000,
+            ip_output_base: 26_000,
+            ip_input_base: 36_000,
+            ether_output_base: 64_000,
+            sbappend_base: 20_000,
+            route_lookup: 52_000,
+            arp_lookup: 15_000,
+            timer_op: 4_000,
+        }
+    }
+
+    /// Ultrix 4.2A variant: same hardware as Mach 2.5 on the DECstation,
+    /// slightly slower socket/protocol paths (Table 2: 1.52 ms vs
+    /// 1.40 ms at 1 B) and a smaller default receive buffer.
+    pub fn ultrix_4_2a() -> CostModel {
+        let mut c = CostModel::decstation_5000_200();
+        c.trap += 6_000;
+        c.sosend_base += 8_000;
+        c.soreceive_base += 8_000;
+        c.tcp_output_base += 10_000;
+        c.tcp_input_base += 10_000;
+        c.udp_input_base += 6_000;
+        c.kcopy_byte += 5;
+        c
+    }
+
+    /// 386BSD variant: Gateway hardware plus the interrupt-handling and
+    /// scheduling inefficiency the paper cites ("Both the library- and
+    /// the server-based implementations on the Gateway have lower
+    /// latency than the in-kernel version because of inefficiencies in
+    /// the way that the 386BSD kernel handles network interrupts and
+    /// scheduling").
+    pub fn bsd386() -> CostModel {
+        let mut c = CostModel::gateway_i486();
+        c.intr_penalty = 260_000;
+        c.sched_wakeup += 60_000;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_presets_resolve() {
+        let dec = Platform::DecStation5000_200.cost_model();
+        let gw = Platform::Gateway486.cost_model();
+        assert!(gw.dev_read_byte > dec.dev_read_byte);
+        assert_eq!(dec.intr_penalty, 0);
+    }
+
+    #[test]
+    fn library_entry_fit_matches_table4() {
+        // Library TCP entry/copyin: 19 µs at 1 B, 203 µs at 1460 B.
+        let c = CostModel::decstation_5000_200();
+        let at = |len: u64| c.sosend_base + c.mbuf_alloc * 2 + c.copy_byte * len;
+        let one = at(1) as f64 / 1000.0;
+        let max = at(1460) as f64 / 1000.0;
+        assert!((one - 19.0).abs() < 4.0, "1B entry was {one}");
+        assert!((max - 203.0).abs() < 15.0, "1460B entry was {max}");
+    }
+
+    #[test]
+    fn server_spl_is_heavyweight() {
+        let c = CostModel::decstation_5000_200();
+        assert!(c.spl_server > 10 * c.spl_kernel);
+        assert!(c.spl_server > c.lock_light);
+    }
+
+    #[test]
+    fn bsd386_has_interrupt_penalty() {
+        assert!(CostModel::bsd386().intr_penalty > 0);
+        assert_eq!(CostModel::gateway_i486().intr_penalty, 0);
+    }
+
+    #[test]
+    fn ultrix_is_slower_than_mach_kernel() {
+        let u = CostModel::ultrix_4_2a();
+        let m = CostModel::decstation_5000_200();
+        assert!(u.trap > m.trap);
+        assert!(u.tcp_input_base > m.tcp_input_base);
+    }
+}

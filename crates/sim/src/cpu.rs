@@ -1,0 +1,233 @@
+//! Processor modeling.
+//!
+//! Each simulated host has one [`Cpu`] (the paper's machines are
+//! uniprocessors). A code path executing at some event time opens a
+//! [`Charge`] cursor on the CPU; every operation along the path charges
+//! its calibrated cost, advancing the cursor. When the path finishes, the
+//! CPU is marked busy until the cursor and side effects (frame handed to
+//! the wire, thread wakeup) are scheduled at the cursor time.
+//!
+//! This queueing treatment makes throughput saturate correctly: when the
+//! receiver CPU cannot drain packets at wire rate, arriving work queues
+//! behind `busy_until` and end-to-end bandwidth drops — exactly the
+//! effect that separates the server-based configuration from the others
+//! in Table 2.
+
+use crate::probe::{Layer, ProbeHandle};
+use crate::time::SimTime;
+
+/// A serializing processor resource.
+#[derive(Debug, Default)]
+pub struct Cpu {
+    busy_until: SimTime,
+    total_busy: SimTime,
+    probe: Option<ProbeHandle>,
+}
+
+impl Cpu {
+    /// Creates an idle CPU.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Attaches (or detaches) a latency probe; charges are attributed to
+    /// it by layer.
+    pub fn set_probe(&mut self, probe: Option<ProbeHandle>) {
+        self.probe = probe;
+    }
+
+    /// Returns the attached probe, if any.
+    pub fn probe(&self) -> Option<&ProbeHandle> {
+        self.probe.as_ref()
+    }
+
+    /// The instant the CPU becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated, for utilization reporting.
+    pub fn total_busy(&self) -> SimTime {
+        self.total_busy
+    }
+
+    /// Opens a charge cursor for a path that becomes runnable at `now`.
+    /// The path starts when the CPU is free.
+    pub fn begin(&mut self, now: SimTime) -> Charge {
+        Charge {
+            start: now.max(self.busy_until),
+            cursor: now.max(self.busy_until),
+            probe: self.probe.clone(),
+        }
+    }
+
+    /// Completes a path: the CPU stays busy until the cursor. Returns the
+    /// completion instant at which side effects should be scheduled.
+    pub fn finish(&mut self, charge: Charge) -> SimTime {
+        debug_assert!(charge.cursor >= self.busy_until || charge.cursor >= charge.start);
+        self.total_busy += charge.elapsed();
+        self.busy_until = self.busy_until.max(charge.cursor);
+        charge.cursor
+    }
+}
+
+/// A cost cursor along one synchronous code path.
+///
+/// The cursor is threaded (`&mut Charge`) down through the protocol
+/// layers; each layer charges the operations it performs.
+#[derive(Debug)]
+pub struct Charge {
+    start: SimTime,
+    cursor: SimTime,
+    probe: Option<ProbeHandle>,
+}
+
+impl Charge {
+    /// Creates a detached cursor (not bound to a CPU) starting at `now`.
+    /// Used for wire-time accounting.
+    pub fn detached(now: SimTime, probe: Option<ProbeHandle>) -> Charge {
+        Charge {
+            start: now,
+            cursor: now,
+            probe,
+        }
+    }
+
+    /// The instant this path started executing.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The current position of the cursor (virtual "now" for this path).
+    pub fn at(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Time charged so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.cursor - self.start
+    }
+
+    /// Charges `cost` against `layer`.
+    pub fn add(&mut self, layer: Layer, cost: SimTime) {
+        self.cursor += cost;
+        if let Some(p) = &self.probe {
+            p.borrow_mut().record(layer, cost);
+        }
+    }
+
+    /// Charges `cost` nanoseconds against `layer`.
+    pub fn add_ns(&mut self, layer: Layer, ns: u64) {
+        self.add(layer, SimTime::from_nanos(ns));
+    }
+
+    /// Charges a per-byte cost: `len * ns_per_byte` nanoseconds.
+    pub fn add_per_byte(&mut self, layer: Layer, ns_per_byte: u64, len: usize) {
+        self.add(layer, SimTime::from_nanos(ns_per_byte * len as u64));
+    }
+
+    /// Records a protection-boundary crossing in `layer` and charges its
+    /// cost.
+    pub fn crossing(&mut self, layer: Layer, cost: SimTime) {
+        self.add(layer, cost);
+        if let Some(p) = &self.probe {
+            p.borrow_mut().record_crossing(layer);
+        }
+    }
+
+    /// Returns the probe this cursor reports to, for handing to detached
+    /// accounting (e.g. wire transit).
+    pub fn probe_handle(&self) -> Option<ProbeHandle> {
+        self.probe.clone()
+    }
+}
+
+/// Convenience: record transit time on a probe without a CPU.
+pub fn record_transit(probe: &Option<ProbeHandle>, cost: SimTime) {
+    if let Some(p) = probe {
+        p.borrow_mut().record(Layer::NetworkTransit, cost);
+    }
+}
+
+#[allow(unused_imports)]
+pub use crate::probe::LayerStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::LatencyProbe;
+
+    #[test]
+    fn charge_advances_cursor() {
+        let mut cpu = Cpu::new();
+        let mut c = cpu.begin(SimTime::from_micros(10));
+        c.add(Layer::IpOutput, SimTime::from_micros(5));
+        c.add_ns(Layer::IpOutput, 500);
+        assert_eq!(c.at(), SimTime::from_nanos(15_500));
+        let done = cpu.finish(c);
+        assert_eq!(done, SimTime::from_nanos(15_500));
+        assert_eq!(cpu.busy_until(), done);
+    }
+
+    #[test]
+    fn cpu_serializes_paths() {
+        let mut cpu = Cpu::new();
+        let mut a = cpu.begin(SimTime::ZERO);
+        a.add(Layer::Other, SimTime::from_micros(100));
+        cpu.finish(a);
+        // A path arriving at t=10 must wait until t=100.
+        let b = cpu.begin(SimTime::from_micros(10));
+        assert_eq!(b.start(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn idle_cpu_starts_immediately() {
+        let mut cpu = Cpu::new();
+        let c = cpu.begin(SimTime::from_micros(42));
+        assert_eq!(c.start(), SimTime::from_micros(42));
+    }
+
+    #[test]
+    fn total_busy_accumulates() {
+        let mut cpu = Cpu::new();
+        for _ in 0..3 {
+            let mut c = cpu.begin(SimTime::ZERO);
+            c.add(Layer::Other, SimTime::from_micros(7));
+            cpu.finish(c);
+        }
+        assert_eq!(cpu.total_busy(), SimTime::from_micros(21));
+    }
+
+    #[test]
+    fn charges_reach_probe() {
+        let probe = LatencyProbe::shared();
+        let mut cpu = Cpu::new();
+        cpu.set_probe(Some(probe.clone()));
+        let mut c = cpu.begin(SimTime::ZERO);
+        c.add(Layer::TcpUdpInput, SimTime::from_micros(3));
+        c.crossing(Layer::KernelCopyout, SimTime::from_micros(2));
+        cpu.finish(c);
+        let p = probe.borrow();
+        assert_eq!(p.layer(Layer::TcpUdpInput).total, SimTime::from_micros(3));
+        assert_eq!(p.layer(Layer::KernelCopyout).total, SimTime::from_micros(2));
+        assert_eq!(p.layer(Layer::KernelCopyout).crossings, 1);
+    }
+
+    #[test]
+    fn per_byte_charges_scale() {
+        let mut cpu = Cpu::new();
+        let mut c = cpu.begin(SimTime::ZERO);
+        c.add_per_byte(Layer::EntryCopyin, 126, 1000);
+        assert_eq!(c.elapsed(), SimTime::from_nanos(126_000));
+    }
+
+    #[test]
+    fn detached_charge_records_transit() {
+        let probe = LatencyProbe::shared();
+        record_transit(&Some(probe.clone()), SimTime::from_micros(51));
+        assert_eq!(
+            probe.borrow().layer(Layer::NetworkTransit).total,
+            SimTime::from_micros(51)
+        );
+    }
+}

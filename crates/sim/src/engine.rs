@@ -1,0 +1,287 @@
+//! The discrete-event loop.
+//!
+//! Components are ordinary Rust state machines (usually behind
+//! `Rc<RefCell<…>>`); they interact by calling each other synchronously
+//! within an event, and by scheduling future events on the [`Sim`]. All
+//! entry points thread `&mut Sim` as an ambient context, so there is a
+//! single virtual clock and a single totally-ordered event queue, which
+//! makes every run exactly reproducible for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::Rng;
+use crate::time::SimTime;
+
+/// An event callback. It receives the simulation so it can read the clock
+/// and schedule further events.
+pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+/// A handle to a scheduled event, usable to cancel it (e.g. TCP timers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SimHandle(u64);
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        // Reverse so the `BinaryHeap` max-heap pops the earliest
+        // `(time, seq)` first; equal times run in scheduling order.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulation: virtual clock, event queue, and root PRNG.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    cancelled: HashSet<u64>,
+    rng: Rng,
+    executed: u64,
+}
+
+impl Sim {
+    /// Creates an empty simulation with the given PRNG seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: Rng::new(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostic).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The root PRNG. Components should [`Rng::fork`] their own streams at
+    /// setup time so that adding a component does not perturb others.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Schedules `f` to run at absolute time `t` (clamped to now).
+    pub fn at(&mut self, t: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> SimHandle {
+        let time = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            f: Box::new(f),
+        });
+        SimHandle(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn after(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim) + 'static) -> SimHandle {
+        self.at(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already run (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, handle: SimHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    fn pop_due(&mut self, horizon: SimTime) -> Option<Entry> {
+        while let Some(head) = self.queue.peek() {
+            if head.time > horizon {
+                return None;
+            }
+            let entry = self.queue.pop().expect("peeked entry must pop");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Runs events until the queue is exhausted or `limit` events have run.
+    /// Returns the number of events executed.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit {
+            match self.pop_due(SimTime::MAX) {
+                Some(entry) => {
+                    self.now = entry.time;
+                    self.executed += 1;
+                    n += 1;
+                    (entry.f)(self);
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Runs events with time ≤ `deadline`, then advances the clock to
+    /// `deadline`. Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(entry) = self.pop_due(deadline) {
+            self.now = entry.time;
+            self.executed += 1;
+            n += 1;
+            (entry.f)(self);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.run(u64::MAX)
+    }
+
+    /// True if no runnable events remain.
+    pub fn is_idle(&mut self) -> bool {
+        // Drain cancelled heads so the answer is accurate.
+        while let Some(head) = self.queue.peek() {
+            if self.cancelled.remove(&head.seq) {
+                self.queue.pop();
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.at(SimTime::from_micros(t), move |s| {
+                log.borrow_mut().push(s.now().as_micros());
+            });
+        }
+        sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_run_in_schedule_order() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.at(SimTime::from_micros(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        sim.after(SimTime::from_micros(5), move |s| {
+            log2.borrow_mut().push("outer");
+            let log3 = log2.clone();
+            s.after(SimTime::from_micros(5), move |_| {
+                log3.borrow_mut().push("inner");
+            });
+        });
+        sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec!["outer", "inner"]);
+        assert_eq!(sim.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        let h = sim.after(SimTime::from_micros(1), move |_| *f2.borrow_mut() = true);
+        sim.cancel(h);
+        sim.run_to_idle();
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    fn cancel_after_run_is_noop() {
+        let mut sim = Sim::new(1);
+        let h = sim.after(SimTime::ZERO, |_| {});
+        sim.run_to_idle();
+        sim.cancel(h);
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Sim::new(1);
+        sim.after(SimTime::from_micros(3), |_| {});
+        let n = sim.run_until(SimTime::from_micros(10));
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(0));
+        for &t in &[5u64, 15] {
+            let f = fired.clone();
+            sim.at(SimTime::from_micros(t), move |_| *f.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_micros(10));
+        assert_eq!(*fired.borrow(), 1);
+        assert!(!sim.is_idle());
+        sim.run_to_idle();
+        assert_eq!(*fired.borrow(), 2);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Sim::new(1);
+        let when = Rc::new(RefCell::new(SimTime::ZERO));
+        let w = when.clone();
+        sim.after(SimTime::from_micros(10), move |s| {
+            let w2 = w.clone();
+            s.at(SimTime::ZERO, move |s2| *w2.borrow_mut() = s2.now());
+        });
+        sim.run_to_idle();
+        assert_eq!(*when.borrow(), SimTime::from_micros(10));
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation substrate for the protocol
+//! service decomposition reproduction.
+//!
+//! The paper's measurements (Maeda & Bershad, SOSP 1993) were taken on
+//! DECstation 5000/200 and Gateway i486 hardware over 10 Mb/s Ethernet.
+//! This crate replaces that hardware with a virtual clock and a calibrated
+//! cost model: code in the upper crates really executes every copy,
+//! checksum, lock and protection-boundary crossing on real packet bytes,
+//! and *charges* the calibrated unit cost of each operation to virtual
+//! time. Configurations therefore differ only in which operations occur,
+//! never in bespoke latency constants — the property that makes the
+//! reproduction honest.
+//!
+//! The main types are:
+//!
+//! - [`Sim`]: the event loop and virtual clock.
+//! - [`Cpu`]: a serializing processor resource on which code paths
+//!   accumulate charges through a [`Charge`] cursor.
+//! - [`CostModel`]: per-operation unit costs, calibrated against the
+//!   paper's Table 4 layer breakdown.
+//! - [`LatencyProbe`]: per-layer attribution of charged time, used to
+//!   regenerate Table 4.
+//! - [`Rng`]: a deterministic PRNG for loss/reorder schedules.
+
+pub mod cost;
+pub mod cpu;
+pub mod engine;
+pub mod probe;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cost::{CostModel, Platform};
+pub use cpu::{Charge, Cpu};
+pub use engine::{Sim, SimHandle};
+pub use probe::{LatencyProbe, Layer, LayerStats, PathKind, ProbeHandle};
+pub use rng::Rng;
+pub use stats::Summary;
+pub use time::SimTime;

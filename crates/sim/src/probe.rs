@@ -1,0 +1,325 @@
+//! Per-layer latency attribution.
+//!
+//! Table 4 of the paper breaks round-trip latency down by protocol layer
+//! ("entry/copyin", "tcp,udp_output", …, "copyout/exit") and marks which
+//! components cross a protection boundary. A [`LatencyProbe`] collects the
+//! same attribution from [`Charge`](crate::cpu::Charge) cursors: every
+//! cost charged to virtual time names the [`Layer`] it belongs to.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// The rows of the paper's Table 4, plus bookkeeping categories for time
+/// spent outside the data path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Layer {
+    /// Socket-layer entry and copy of the user buffer into mbufs.
+    EntryCopyin,
+    /// `tcp_output` / `udp_output`: header construction and checksum.
+    TcpUdpOutput,
+    /// `ip_output`: IP header construction and route lookup.
+    IpOutput,
+    /// Ethernet output: ARP resolution, framing, handing to the device.
+    EtherOutput,
+    /// Device interrupt fielding and (for kernel/server paths) the copy
+    /// out of device memory into a wired kernel buffer.
+    DeviceIntrRead,
+    /// Demultiplexing: netisr dispatch and packet-filter execution.
+    NetisrPacketFilter,
+    /// Delivering the packet to the destination protocol stack across a
+    /// protection boundary (library and server paths only).
+    KernelCopyout,
+    /// Packaging the incoming packet as an mbuf chain and queueing it.
+    MbufQueue,
+    /// `ipintr`: IP input processing.
+    IpIntr,
+    /// `tcp_input` / `udp_input`: checksum verification, socket queueing.
+    TcpUdpInput,
+    /// Waking the application thread that blocks in a receive call.
+    WakeupUserThread,
+    /// Copying from the socket queue into the caller's buffer and leaving
+    /// the protocol.
+    CopyoutExit,
+    /// Time on the wire.
+    NetworkTransit,
+    /// Control-path work (proxy RPCs, connection setup) — not part of
+    /// Table 4's data path but attributed for completeness.
+    Control,
+    /// Anything else (timers, retransmissions, background work).
+    Other,
+}
+
+impl Layer {
+    /// All layers in Table 4 presentation order (send path, receive path,
+    /// then transit).
+    pub const TABLE4_ORDER: [Layer; 13] = [
+        Layer::EntryCopyin,
+        Layer::TcpUdpOutput,
+        Layer::IpOutput,
+        Layer::EtherOutput,
+        Layer::DeviceIntrRead,
+        Layer::NetisrPacketFilter,
+        Layer::KernelCopyout,
+        Layer::MbufQueue,
+        Layer::IpIntr,
+        Layer::TcpUdpInput,
+        Layer::WakeupUserThread,
+        Layer::CopyoutExit,
+        Layer::NetworkTransit,
+    ];
+
+    /// Which path of Table 4 this layer belongs to.
+    pub fn path(self) -> PathKind {
+        match self {
+            Layer::EntryCopyin | Layer::TcpUdpOutput | Layer::IpOutput | Layer::EtherOutput => {
+                PathKind::Send
+            }
+            Layer::DeviceIntrRead
+            | Layer::NetisrPacketFilter
+            | Layer::KernelCopyout
+            | Layer::MbufQueue
+            | Layer::IpIntr
+            | Layer::TcpUdpInput
+            | Layer::WakeupUserThread
+            | Layer::CopyoutExit => PathKind::Receive,
+            Layer::NetworkTransit => PathKind::Transit,
+            Layer::Control | Layer::Other => PathKind::Off,
+        }
+    }
+
+    /// The row label used in Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::EntryCopyin => "entry/copyin",
+            Layer::TcpUdpOutput => "tcp,udp_output",
+            Layer::IpOutput => "ip_output",
+            Layer::EtherOutput => "ether_output",
+            Layer::DeviceIntrRead => "device intr/read",
+            Layer::NetisrPacketFilter => "netisr/packet filter",
+            Layer::KernelCopyout => "kernel copyout",
+            Layer::MbufQueue => "mbuf/queue",
+            Layer::IpIntr => "ipintr",
+            Layer::TcpUdpInput => "tcp,udp_input",
+            Layer::WakeupUserThread => "wakeup user thread",
+            Layer::CopyoutExit => "copyout/exit",
+            Layer::NetworkTransit => "network transit",
+            Layer::Control => "control",
+            Layer::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Layer::EntryCopyin => 0,
+            Layer::TcpUdpOutput => 1,
+            Layer::IpOutput => 2,
+            Layer::EtherOutput => 3,
+            Layer::DeviceIntrRead => 4,
+            Layer::NetisrPacketFilter => 5,
+            Layer::KernelCopyout => 6,
+            Layer::MbufQueue => 7,
+            Layer::IpIntr => 8,
+            Layer::TcpUdpInput => 9,
+            Layer::WakeupUserThread => 10,
+            Layer::CopyoutExit => 11,
+            Layer::NetworkTransit => 12,
+            Layer::Control => 13,
+            Layer::Other => 14,
+        }
+    }
+
+    const COUNT: usize = 15;
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which half of the round trip a layer contributes to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathKind {
+    /// The sender-side data path.
+    Send,
+    /// The receiver-side data path.
+    Receive,
+    /// Wire time.
+    Transit,
+    /// Off the measured data path.
+    Off,
+}
+
+/// Accumulated time and boundary-crossing counts per layer.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LayerStats {
+    /// Total virtual time charged to this layer.
+    pub total: SimTime,
+    /// Number of individual charges.
+    pub charges: u64,
+    /// Number of protection-boundary crossings charged within this layer
+    /// (the paper marks such layers with an asterisk).
+    pub crossings: u64,
+}
+
+/// Collects per-layer time attribution.
+#[derive(Debug)]
+pub struct LatencyProbe {
+    enabled: bool,
+    layers: [LayerStats; Layer::COUNT],
+}
+
+/// Shared handle to a probe, stored by every component that charges costs.
+pub type ProbeHandle = Rc<RefCell<LatencyProbe>>;
+
+impl LatencyProbe {
+    /// Creates an enabled probe.
+    pub fn new() -> LatencyProbe {
+        LatencyProbe {
+            enabled: true,
+            layers: [LayerStats::default(); Layer::COUNT],
+        }
+    }
+
+    /// Creates a shared handle to a fresh probe.
+    pub fn shared() -> ProbeHandle {
+        Rc::new(RefCell::new(LatencyProbe::new()))
+    }
+
+    /// Enables or disables collection (e.g. to skip warm-up traffic).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if the probe is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `cost` against `layer`.
+    pub fn record(&mut self, layer: Layer, cost: SimTime) {
+        if self.enabled {
+            let s = &mut self.layers[layer.index()];
+            s.total += cost;
+            s.charges += 1;
+        }
+    }
+
+    /// Records a protection-boundary crossing within `layer`.
+    pub fn record_crossing(&mut self, layer: Layer) {
+        if self.enabled {
+            self.layers[layer.index()].crossings += 1;
+        }
+    }
+
+    /// Returns the stats for a layer.
+    pub fn layer(&self, layer: Layer) -> LayerStats {
+        self.layers[layer.index()]
+    }
+
+    /// Sum of the send-path layers.
+    pub fn send_total(&self) -> SimTime {
+        self.path_total(PathKind::Send)
+    }
+
+    /// Sum of the receive-path layers.
+    pub fn receive_total(&self) -> SimTime {
+        self.path_total(PathKind::Receive)
+    }
+
+    /// Sum over one path.
+    pub fn path_total(&self, path: PathKind) -> SimTime {
+        Layer::TABLE4_ORDER
+            .iter()
+            .filter(|l| l.path() == path)
+            .map(|l| self.layer(*l).total)
+            .sum()
+    }
+
+    /// Sum over every layer (including off-path categories).
+    pub fn grand_total(&self) -> SimTime {
+        self.layers.iter().map(|s| s.total).sum()
+    }
+
+    /// Clears all statistics.
+    pub fn reset(&mut self) {
+        self.layers = [LayerStats::default(); Layer::COUNT];
+    }
+}
+
+impl Default for LatencyProbe {
+    fn default() -> LatencyProbe {
+        LatencyProbe::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut p = LatencyProbe::new();
+        p.record(Layer::IpOutput, SimTime::from_micros(10));
+        p.record(Layer::IpOutput, SimTime::from_micros(5));
+        let s = p.layer(Layer::IpOutput);
+        assert_eq!(s.total, SimTime::from_micros(15));
+        assert_eq!(s.charges, 2);
+    }
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let mut p = LatencyProbe::new();
+        p.set_enabled(false);
+        p.record(Layer::IpIntr, SimTime::from_micros(10));
+        p.record_crossing(Layer::IpIntr);
+        assert_eq!(p.layer(Layer::IpIntr).total, SimTime::ZERO);
+        assert_eq!(p.layer(Layer::IpIntr).crossings, 0);
+    }
+
+    #[test]
+    fn path_totals_partition_layers() {
+        let mut p = LatencyProbe::new();
+        p.record(Layer::EntryCopyin, SimTime::from_micros(1));
+        p.record(Layer::TcpUdpInput, SimTime::from_micros(2));
+        p.record(Layer::NetworkTransit, SimTime::from_micros(4));
+        assert_eq!(p.send_total(), SimTime::from_micros(1));
+        assert_eq!(p.receive_total(), SimTime::from_micros(2));
+        assert_eq!(p.path_total(PathKind::Transit), SimTime::from_micros(4));
+        assert_eq!(p.grand_total(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = LatencyProbe::new();
+        p.record(Layer::Other, SimTime::from_micros(3));
+        p.record_crossing(Layer::Other);
+        p.reset();
+        assert_eq!(p.grand_total(), SimTime::ZERO);
+        assert_eq!(p.layer(Layer::Other).crossings, 0);
+    }
+
+    #[test]
+    fn table4_order_covers_both_paths() {
+        let sends = Layer::TABLE4_ORDER
+            .iter()
+            .filter(|l| l.path() == PathKind::Send)
+            .count();
+        let recvs = Layer::TABLE4_ORDER
+            .iter()
+            .filter(|l| l.path() == PathKind::Receive)
+            .count();
+        assert_eq!(sends, 4);
+        assert_eq!(recvs, 8);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Layer::EntryCopyin.label(), "entry/copyin");
+        assert_eq!(Layer::NetisrPacketFilter.label(), "netisr/packet filter");
+        assert_eq!(Layer::CopyoutExit.label(), "copyout/exit");
+    }
+}

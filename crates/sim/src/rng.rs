@@ -1,0 +1,181 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! The engine must be fully deterministic for a given seed so that latency
+//! tables are exactly reproducible and failing loss/reorder schedules can
+//! be replayed. A small xoshiro256** generator keeps this crate free of
+//! external dependencies.
+
+/// A deterministic xoshiro256** PRNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed, expanding it with SplitMix64 as the
+    /// xoshiro authors recommend.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng { s }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below bound must be nonzero");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform value in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "Rng::range requires lo <= hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns true with the given probability.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Fills a byte slice with random data (for payload generation).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Forks an independent stream, deterministically derived from this one.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_slice() {
+        let mut r = Rng::new(17);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Astronomically unlikely to remain all zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_deterministic() {
+        let mut a = Rng::new(21);
+        let mut b = Rng::new(21);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_ne!(fa.next_u64(), a.next_u64());
+    }
+}

@@ -1,0 +1,124 @@
+//! Small statistics helpers for the benchmark harnesses.
+
+use crate::time::SimTime;
+
+/// Online summary of a series of virtual-time samples.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<SimTime>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: SimTime) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimTime {
+        self.samples.iter().copied().sum()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimTime {
+        if self.samples.is_empty() {
+            SimTime::ZERO
+        } else {
+            self.total() / self.samples.len() as u64
+        }
+    }
+
+    /// Minimum sample, or zero when empty.
+    pub fn min(&self) -> SimTime {
+        self.samples.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Maximum sample, or zero when empty.
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).floor() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median.
+    pub fn median(&self) -> SimTime {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), SimTime::ZERO);
+        assert_eq!(s.median(), SimTime::ZERO);
+        assert_eq!(s.min(), SimTime::ZERO);
+        assert_eq!(s.max(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = Summary::new();
+        for v in [10, 20, 30] {
+            s.push(us(v));
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), us(20));
+        assert_eq!(s.min(), us(10));
+        assert_eq!(s.max(), us(30));
+        assert_eq!(s.total(), us(60));
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = Summary::new();
+        for v in 1..=100u64 {
+            s.push(us(v));
+        }
+        assert_eq!(s.median(), us(50));
+        assert_eq!(s.percentile(0.0), us(1));
+        assert_eq!(s.percentile(100.0), us(100));
+        assert_eq!(s.percentile(99.0), us(99));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let mut s = Summary::new();
+        for v in [30, 10, 20] {
+            s.push(us(v));
+        }
+        assert_eq!(s.median(), us(20));
+    }
+}

@@ -1,0 +1,51 @@
+//! Bulk transfer: the `ttcp` workload across all DECstation
+//! configurations, plus the NEWAPI shared-buffer interface — a compact
+//! reproduction of the throughput column of Tables 2 and 3.
+//!
+//! Run with: `cargo run --release --example bulk_transfer [-- --mb 16]`
+
+use psd::bench::{ttcp, ApiStyle};
+use psd::sim::Platform;
+use psd::systems::{SystemConfig, TestBed};
+
+fn main() {
+    let mb: usize = std::env::args()
+        .skip_while(|a| a != "--mb")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let total = mb << 20;
+    let platform = Platform::DecStation5000_200;
+
+    println!("ttcp: {mb} MB memory-to-memory TCP transfer, 10 Mb/s Ethernet\n");
+    println!(
+        "{:<30} {:>10} {:>12}",
+        "configuration", "KB/s", "virtual time"
+    );
+    for config in SystemConfig::for_platform(platform) {
+        let mut bed = TestBed::new(config, platform, 42);
+        let r = ttcp(&mut bed, total, ApiStyle::Classic);
+        println!(
+            "{:<30} {:>10.0} {:>12}",
+            config.label(),
+            r.kb_per_sec,
+            format!("{}", r.elapsed)
+        );
+        assert_eq!(r.retransmits, 0, "clean wire must not retransmit");
+    }
+
+    println!("\nwith the NEWAPI shared-buffer interface (§4.2):");
+    for config in [SystemConfig::LibraryIpc, SystemConfig::LibraryShmIpf] {
+        let mut bed = TestBed::new(config, platform, 42);
+        let classic = ttcp(&mut bed, total, ApiStyle::Classic).kb_per_sec;
+        let mut bed = TestBed::new(config, platform, 42);
+        let newapi = ttcp(&mut bed, total, ApiStyle::Newapi).kb_per_sec;
+        println!(
+            "{:<30} {:>7.0} → {:>5.0} KB/s  ({:+.1}%)",
+            config.label(),
+            classic,
+            newapi,
+            (newapi / classic - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! A remote-terminal session (the telnet workload the paper compiled
+//! against its library): single-keystroke request/echo round trips
+//! over TCP, where per-packet latency — not bandwidth — is everything.
+//!
+//! Shows why the server-based architecture hurt interactive programs
+//! and the library architecture did not.
+//!
+//! Run with: `cargo run --release --example remote_terminal`
+
+use psd::core::{AppLib, Fd, FdEventFn};
+use psd::netstack::{InetAddr, SockEvent, SocketError};
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const TYPED: &[u8] = b"ls -l /usr/mach/lib\n";
+
+fn main() {
+    let platform = Platform::DecStation5000_200;
+    println!(
+        "remote terminal: {} keystrokes, each echoed by the far host\n",
+        TYPED.len()
+    );
+    println!(
+        "{:<30} {:>14} {:>16}",
+        "configuration", "per-keystroke", "full command"
+    );
+    for config in SystemConfig::for_platform(platform) {
+        let (per_key, total) = session(config, platform);
+        println!(
+            "{:<30} {:>14} {:>16}",
+            config.label(),
+            format!("{per_key}"),
+            format!("{total}")
+        );
+    }
+}
+
+fn session(config: SystemConfig, platform: Platform) -> (SimTime, SimTime) {
+    let mut bed = TestBed::new(config, platform, 99);
+
+    // The "telnetd" side: echo each byte as it arrives.
+    let daemon = bed.hosts[1].spawn_app();
+    let lfd = AppLib::socket(&daemon, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&daemon, &mut bed.sim, lfd, 23).unwrap();
+    AppLib::listen(&daemon, &mut bed.sim, lfd, 1).unwrap();
+    {
+        let app = daemon.clone();
+        let conn_app = daemon.clone();
+        let conn: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                if ev == SockEvent::Readable {
+                    let mut buf = [0u8; 64];
+                    while let Ok(n) = AppLib::recv(&conn_app, sim, fd, &mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        let _ = AppLib::send(&conn_app, sim, fd, &buf[..n]);
+                    }
+                }
+            },
+        ));
+        let listen: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                if ev == SockEvent::Readable {
+                    while let Ok(c) = AppLib::accept(&app, sim, fd) {
+                        app.borrow_mut().set_event_handler(c, conn.clone());
+                        // Interactive sessions disable Nagle so each
+                        // keystroke goes out immediately.
+                        app.borrow_mut().set_nodelay(c, true);
+                    }
+                }
+            },
+        ));
+        daemon.borrow_mut().set_event_handler(lfd, listen);
+    }
+
+    // The "telnet" side: type a character, wait for its echo, repeat.
+    let user = bed.hosts[0].spawn_app();
+    let cfd = AppLib::socket(&user, &mut bed.sim, Proto::Tcp);
+    let state: Rc<RefCell<(usize, bool)>> = Rc::new(RefCell::new((0, false))); // (echoes, connected)
+    {
+        let app = user.clone();
+        let st = state.clone();
+        let handler: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| match ev {
+                SockEvent::Connected => {
+                    st.borrow_mut().1 = true;
+                    app.borrow_mut().set_nodelay(fd, true);
+                    let _ = AppLib::send(&app, sim, fd, &TYPED[..1]);
+                }
+                SockEvent::Readable => {
+                    let mut buf = [0u8; 8];
+                    while let Ok(n) = AppLib::recv(&app, sim, fd, &mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        for _ in 0..n {
+                            let mut s = st.borrow_mut();
+                            s.0 += 1;
+                            let next = s.0;
+                            drop(s);
+                            if next < TYPED.len() {
+                                match AppLib::send(&app, sim, fd, &TYPED[next..next + 1]) {
+                                    Ok(_) | Err(SocketError::WouldBlock) => {}
+                                    Err(e) => panic!("send: {e}"),
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+        ));
+        user.borrow_mut().set_event_handler(cfd, handler);
+    }
+    AppLib::connect(&user, &mut bed.sim, cfd, InetAddr::new(bed.hosts[1].ip, 23)).unwrap();
+
+    // Wait for the connection, then time the typing.
+    while !state.borrow().1 {
+        let t = bed.sim.now() + SimTime::from_micros(100);
+        bed.sim.run_until(t);
+        assert!(bed.sim.now() < SimTime::from_secs(30), "connect stalled");
+    }
+    let start = bed.sim.now();
+    while state.borrow().0 < TYPED.len() {
+        let t = bed.sim.now() + SimTime::from_micros(100);
+        bed.sim.run_until(t);
+        assert!(
+            bed.sim.now() - start < SimTime::from_secs(60),
+            "session stalled at {} echoes",
+            state.borrow().0
+        );
+    }
+    let total = bed.sim.now() - start;
+    (total / TYPED.len() as u64, total)
+}

@@ -1,0 +1,158 @@
+//! A concurrent service using the cooperative `select` (§3.2) and
+//! `fork` (Table 1): one process watches a TCP listener (a session the
+//! operating system manages) and a UDP status port (a session migrated
+//! into the application) with a single select; accepted connections are
+//! handled after a fork, demonstrating session return.
+//!
+//! Run with: `cargo run --release --example select_server`
+
+use psd::core::{AppLib, Fd, FdEventFn, SelectOutcome};
+use psd::netstack::{InetAddr, SockEvent};
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 7);
+
+    // ---- The service process on host B ----
+    let service = bed.hosts[1].spawn_app();
+    // A TCP listener: lives in the operating system server.
+    let listener = AppLib::socket(&service, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&service, &mut bed.sim, listener, 80).unwrap();
+    AppLib::listen(&service, &mut bed.sim, listener, 4).unwrap();
+    // A UDP status socket: migrated into the application by bind.
+    let status = AppLib::socket(&service, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&service, &mut bed.sim, status, 161).unwrap();
+    println!("service: listener (server-managed) + status port (application-managed)");
+
+    // One cooperative select across both kinds of descriptor.
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    {
+        let o = outcome.clone();
+        AppLib::select(
+            &service,
+            &mut bed.sim,
+            vec![listener, status],
+            vec![],
+            Some(SimTime::from_secs(30)),
+            Box::new(move |_sim, out| *o.borrow_mut() = Some(out)),
+        );
+    }
+
+    // ---- Clients on host A ----
+    let client = bed.hosts[0].spawn_app();
+    // First stimulus: a UDP status query (hits the application-managed
+    // descriptor; the library reports the status change to the server,
+    // which completes the select). Bounded runs keep the select's 30 s
+    // timeout from firing while we drive the scenario.
+    let q = AppLib::socket(&client, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client, &mut bed.sim, q, 9000).unwrap();
+    AppLib::connect(
+        &client,
+        &mut bed.sim,
+        q,
+        InetAddr::new(bed.hosts[1].ip, 161),
+    )
+    .unwrap();
+    bed.run_for(SimTime::from_millis(50));
+    AppLib::sendto(&client, &mut bed.sim, q, b"status?", None).unwrap();
+    bed.run_for(SimTime::from_millis(200));
+
+    let first = outcome.borrow_mut().take().expect("select completed");
+    println!(
+        "select #1 woke: readable = {:?} (the UDP status socket)",
+        first.readable
+    );
+    assert_eq!(first.readable, vec![status]);
+    let mut buf = [0u8; 64];
+    let (n, from) = AppLib::recvfrom(&service, &mut bed.sim, status, &mut buf).unwrap();
+    println!(
+        "status query {:?} from {from}",
+        String::from_utf8_lossy(&buf[..n])
+    );
+    AppLib::sendto(
+        &service,
+        &mut bed.sim,
+        status,
+        b"2 users, load 0.93",
+        Some(from),
+    )
+    .unwrap();
+
+    // Second select; this time a TCP connection arrives (the
+    // server-managed descriptor becomes acceptable).
+    {
+        let o = outcome.clone();
+        AppLib::select(
+            &service,
+            &mut bed.sim,
+            vec![listener, status],
+            vec![],
+            Some(SimTime::from_secs(30)),
+            Box::new(move |_sim, out| *o.borrow_mut() = Some(out)),
+        );
+    }
+    let cfd = AppLib::socket(&client, &mut bed.sim, Proto::Tcp);
+    {
+        let app = client.clone();
+        let handler: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                if ev == SockEvent::Connected {
+                    let _ = AppLib::send(&app, sim, fd, b"GET /\n");
+                }
+            },
+        ));
+        client.borrow_mut().set_event_handler(cfd, handler);
+    }
+    AppLib::connect(
+        &client,
+        &mut bed.sim,
+        cfd,
+        InetAddr::new(bed.hosts[1].ip, 80),
+    )
+    .unwrap();
+    bed.run_for(SimTime::from_millis(200));
+
+    let second = outcome.borrow_mut().take().expect("select completed");
+    println!(
+        "select #2 woke: readable = {:?} (the TCP listener)",
+        second.readable
+    );
+    assert!(second.readable.contains(&listener));
+    let conn = AppLib::accept(&service, &mut bed.sim, listener)
+        .or_else(|_| {
+            bed.run_for(SimTime::from_millis(200));
+            AppLib::accept(&service, &mut bed.sim, listener)
+        })
+        .expect("accept");
+    println!("accepted connection {conn:?} (session migrated into the service)");
+
+    // ---- fork: sessions go back to the operating system ----
+    let before = service.borrow().stats.migrations_out;
+    let worker = AppLib::fork(&service, &mut bed.sim).expect("fork");
+    println!(
+        "fork: returned {} session(s) to the OS; child process is {:?}",
+        service.borrow().stats.migrations_out - before,
+        worker.borrow().proc_id().unwrap()
+    );
+    // The worker serves the connection through the server now.
+    bed.run_for(SimTime::from_millis(200));
+    let mut req = [0u8; 64];
+    let n = AppLib::recv(&worker, &mut bed.sim, conn, &mut req).expect("request");
+    println!(
+        "worker read request {:?}",
+        String::from_utf8_lossy(&req[..n])
+    );
+    AppLib::send(
+        &worker,
+        &mut bed.sim,
+        conn,
+        b"HTTP/0.9 200\nhello from 1993\n",
+    )
+    .unwrap();
+    bed.run_for(SimTime::from_millis(200));
+    println!("done: one process multiplexed two session kinds and forked a worker");
+}

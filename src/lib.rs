@@ -1,0 +1,36 @@
+//! Protocol Service Decomposition for High-Performance Networking.
+//!
+//! A full reproduction of Maeda & Bershad's SOSP 1993 system: TCP/IP
+//! and UDP/IP implemented as an application-linked library, with an
+//! operating-system server managing the heavyweight socket
+//! abstractions, over a simulated Mach 3.0-style kernel and a 10 Mb/s
+//! Ethernet.
+//!
+//! This facade crate re-exports the workspace so examples and
+//! integration tests can `use psd::…`. See the individual crates for
+//! the substance:
+//!
+//! - [`core`] (`psd-core`): the application protocol library — the
+//!   paper's contribution.
+//! - [`server`] (`psd-server`): the operating system server.
+//! - [`netstack`] (`psd-netstack`): the shared TCP/IP/UDP protocol
+//!   stack.
+//! - [`kernel`] (`psd-kernel`): the packet send/receive interface with
+//!   the IPC / SHM / SHM-IPF receive paths.
+//! - [`filter`] (`psd-filter`): the packet-filter VM and demux table.
+//! - [`systems`] (`psd-systems`): whole-system assembly of the paper's
+//!   eight configurations.
+//! - `bench` (`psd-bench`): `ttcp`, `protolat`, and the Table 2/3/4
+//!   harnesses.
+
+pub use psd_bench as bench;
+pub use psd_core as core;
+pub use psd_filter as filter;
+pub use psd_kernel as kernel;
+pub use psd_mbuf as mbuf;
+pub use psd_netdev as netdev;
+pub use psd_netstack as netstack;
+pub use psd_server as server;
+pub use psd_sim as sim;
+pub use psd_systems as systems;
+pub use psd_wire as wire;

@@ -1,0 +1,182 @@
+//! Shared helpers for the integration tests: event-driven echo servers
+//! and request/response clients built on the proxy socket API.
+//!
+//! Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use psd::core::{AppHandle, AppLib, Fd, FdEventFn};
+use psd::netstack::{InetAddr, SockEvent, SocketError};
+use psd::server::Proto;
+use psd::sim::SimTime;
+use psd::systems::TestBed;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Starts a TCP echo server on `port` in `app`. Returns a counter of
+/// echoed bytes. Handles backpressure: bytes that do not fit in the
+/// send buffer are held and flushed on `Writable`.
+pub fn tcp_echo_server(bed: &mut TestBed, app: &AppHandle, port: u16) -> Rc<RefCell<usize>> {
+    let echoed = Rc::new(RefCell::new(0usize));
+    let lfd = AppLib::socket(app, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(app, &mut bed.sim, lfd, port).expect("bind");
+    AppLib::listen(app, &mut bed.sim, lfd, 8).expect("listen");
+    let app2 = app.clone();
+    let echoed2 = echoed.clone();
+    let pending: Rc<RefCell<std::collections::HashMap<Fd, Vec<u8>>>> =
+        Rc::new(RefCell::new(std::collections::HashMap::new()));
+    let conn_handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if matches!(
+                ev,
+                SockEvent::Readable | SockEvent::PeerClosed | SockEvent::Writable
+            ) {
+                // Flush anything held back by a full send buffer first.
+                loop {
+                    let held = pending.borrow().get(&fd).map_or(0, Vec::len);
+                    if held == 0 {
+                        break;
+                    }
+                    let chunk: Vec<u8> = pending.borrow().get(&fd).unwrap().clone();
+                    match AppLib::send(&app2, sim, fd, &chunk) {
+                        Ok(n) => {
+                            pending.borrow_mut().get_mut(&fd).unwrap().drain(..n);
+                            if n == 0 {
+                                return;
+                            }
+                        }
+                        Err(SocketError::WouldBlock) => return,
+                        Err(_) => return,
+                    }
+                }
+                loop {
+                    let mut buf = [0u8; 4096];
+                    match AppLib::recv(&app2, sim, fd, &mut buf) {
+                        Ok(0) => {
+                            AppLib::close(&app2, sim, fd);
+                            break;
+                        }
+                        Ok(n) => {
+                            *echoed2.borrow_mut() += n;
+                            let mut off = 0;
+                            while off < n {
+                                match AppLib::send(&app2, sim, fd, &buf[off..n]) {
+                                    Ok(m) => off += m,
+                                    Err(SocketError::WouldBlock) => {
+                                        pending
+                                            .borrow_mut()
+                                            .entry(fd)
+                                            .or_default()
+                                            .extend_from_slice(&buf[off..n]);
+                                        return;
+                                    }
+                                    Err(_) => return,
+                                }
+                            }
+                        }
+                        Err(SocketError::WouldBlock) => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        },
+    ));
+    let app3 = app.clone();
+    let listen_handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                while let Ok(conn) = AppLib::accept(&app3, sim, fd) {
+                    app3.borrow_mut()
+                        .set_event_handler(conn, conn_handler.clone());
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(lfd, listen_handler);
+    echoed
+}
+
+/// Starts a UDP echo server on `port`.
+pub fn udp_echo_server(bed: &mut TestBed, app: &AppHandle, port: u16) {
+    let fd = AppLib::socket(app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(app, &mut bed.sim, fd, port).expect("bind");
+    let app2 = app.clone();
+    let handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                loop {
+                    let mut buf = [0u8; 4096];
+                    match AppLib::recvfrom(&app2, sim, fd, &mut buf) {
+                        Ok((n, from)) => {
+                            let _ = AppLib::sendto(&app2, sim, fd, &buf[..n], Some(from));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(fd, handler);
+}
+
+/// State of a request/response TCP client.
+pub struct TcpClient {
+    /// Client descriptor.
+    pub fd: Fd,
+    /// Collected reply bytes.
+    pub replies: Rc<RefCell<Vec<u8>>>,
+    /// Set when the connection is established.
+    pub connected: Rc<RefCell<bool>>,
+    /// Set on a connection error.
+    pub error: Rc<RefCell<Option<SocketError>>>,
+}
+
+/// Connects a TCP client that records everything it receives.
+pub fn tcp_client(bed: &mut TestBed, app: &AppHandle, dst: InetAddr) -> TcpClient {
+    let fd = AppLib::socket(app, &mut bed.sim, Proto::Tcp);
+    let replies = Rc::new(RefCell::new(Vec::new()));
+    let connected = Rc::new(RefCell::new(false));
+    let error = Rc::new(RefCell::new(None));
+    let (app2, r2, c2, e2) = (
+        app.clone(),
+        replies.clone(),
+        connected.clone(),
+        error.clone(),
+    );
+    let handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| match ev {
+            SockEvent::Connected => *c2.borrow_mut() = true,
+            SockEvent::Readable => loop {
+                let mut buf = [0u8; 4096];
+                match AppLib::recv(&app2, sim, fd, &mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => r2.borrow_mut().extend_from_slice(&buf[..n]),
+                    Err(_) => break,
+                }
+            },
+            SockEvent::Error(e) => *e2.borrow_mut() = Some(e),
+            _ => {}
+        },
+    ));
+    app.borrow_mut().set_event_handler(fd, handler);
+    AppLib::connect(app, &mut bed.sim, fd, dst).expect("connect");
+    TcpClient {
+        fd,
+        replies,
+        connected,
+        error,
+    }
+}
+
+/// Runs the simulation until `cond` holds or `timeout` virtual time
+/// elapses. Returns true if the condition was met.
+pub fn run_until(bed: &mut TestBed, timeout: SimTime, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = bed.sim.now() + timeout;
+    while bed.sim.now() < deadline {
+        if cond() {
+            return true;
+        }
+        let step = (bed.sim.now() + SimTime::from_millis(10)).min(deadline);
+        bed.sim.run_until(step);
+    }
+    cond()
+}

@@ -1,0 +1,200 @@
+//! End-to-end transfers in every system configuration on both
+//! platforms: the same application code must behave identically under
+//! the in-kernel, server-based, and all library architectures
+//! ("source-level compatibility with existing protocol clients").
+
+mod common;
+
+use common::{run_until, tcp_client, tcp_echo_server, udp_echo_server};
+use psd::core::{AppLib, Fd, FdEventFn};
+use psd::netstack::{InetAddr, SockEvent};
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn all_configs() -> Vec<(SystemConfig, Platform)> {
+    let mut v = Vec::new();
+    for platform in [Platform::DecStation5000_200, Platform::Gateway486] {
+        for config in SystemConfig::for_platform(platform) {
+            v.push((config, platform));
+        }
+    }
+    v
+}
+
+#[test]
+fn tcp_request_response_all_configs() {
+    for (config, platform) in all_configs() {
+        let mut bed = TestBed::new(config, platform, 11);
+        let server_app = bed.hosts[1].spawn_app();
+        let echoed = tcp_echo_server(&mut bed, &server_app, 80);
+        let client_app = bed.hosts[0].spawn_app();
+        let dst = InetAddr::new(bed.hosts[1].ip, 80);
+        let client = tcp_client(&mut bed, &client_app, dst);
+
+        assert!(
+            run_until(&mut bed, SimTime::from_secs(10), || *client
+                .connected
+                .borrow()),
+            "{}: connect failed",
+            config.label()
+        );
+        AppLib::send(&client_app, &mut bed.sim, client.fd, b"request payload").unwrap();
+        assert!(
+            run_until(&mut bed, SimTime::from_secs(10), || {
+                client.replies.borrow().len() >= 15
+            }),
+            "{} on {}: no echo",
+            config.label(),
+            platform.label()
+        );
+        assert_eq!(client.replies.borrow().as_slice(), b"request payload");
+        assert_eq!(*echoed.borrow(), 15);
+        assert!(client.error.borrow().is_none());
+    }
+}
+
+#[test]
+fn udp_round_trip_all_configs() {
+    for (config, platform) in all_configs() {
+        let mut bed = TestBed::new(config, platform, 13);
+        let server_app = bed.hosts[1].spawn_app();
+        udp_echo_server(&mut bed, &server_app, 53);
+        let client_app = bed.hosts[0].spawn_app();
+        let dst = InetAddr::new(bed.hosts[1].ip, 53);
+
+        let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+        AppLib::bind(&client_app, &mut bed.sim, fd, 9000).unwrap();
+        AppLib::connect(&client_app, &mut bed.sim, fd, dst).unwrap();
+        let got: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let app = client_app.clone();
+            let got = got.clone();
+            let handler: FdEventFn = Rc::new(RefCell::new(
+                move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                    if ev == SockEvent::Readable {
+                        let mut buf = [0u8; 64];
+                        while let Ok((n, from)) = AppLib::recvfrom(&app, sim, fd, &mut buf) {
+                            assert_eq!(from.port, 53);
+                            got.borrow_mut().extend_from_slice(&buf[..n]);
+                        }
+                    }
+                },
+            ));
+            client_app.borrow_mut().set_event_handler(fd, handler);
+        }
+        bed.settle();
+        AppLib::sendto(&client_app, &mut bed.sim, fd, b"dns-ish query", None).unwrap();
+        let ok = run_until(&mut bed, SimTime::from_secs(10), || {
+            !got.borrow().is_empty()
+        });
+        assert!(
+            ok,
+            "{} on {}: no UDP echo",
+            config.label(),
+            platform.label()
+        );
+        assert_eq!(got.borrow().as_slice(), b"dns-ish query");
+    }
+}
+
+#[test]
+fn bulk_transfer_integrity_all_decstation_configs() {
+    // A 256 KB transfer with patterned data must arrive intact in every
+    // configuration (integrity, not just byte counts).
+    for config in SystemConfig::for_platform(Platform::DecStation5000_200) {
+        let mut bed = TestBed::new(config, Platform::DecStation5000_200, 17);
+        let server_app = bed.hosts[1].spawn_app();
+        let received: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        // Sink server: accumulate everything.
+        {
+            let lfd = AppLib::socket(&server_app, &mut bed.sim, Proto::Tcp);
+            AppLib::bind(&server_app, &mut bed.sim, lfd, 9).unwrap();
+            AppLib::listen(&server_app, &mut bed.sim, lfd, 2).unwrap();
+            let app = server_app.clone();
+            let rec = received.clone();
+            let conn_app = server_app.clone();
+            let conn_rec = received.clone();
+            let conn_handler: FdEventFn = Rc::new(RefCell::new(
+                move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                    if matches!(ev, SockEvent::Readable | SockEvent::PeerClosed) {
+                        let mut buf = vec![0u8; 8192];
+                        while let Ok(n) = AppLib::recv(&conn_app, sim, fd, &mut buf) {
+                            if n == 0 {
+                                break;
+                            }
+                            conn_rec.borrow_mut().extend_from_slice(&buf[..n]);
+                        }
+                    }
+                },
+            ));
+            let _ = rec;
+            let listen_handler: FdEventFn = Rc::new(RefCell::new(
+                move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                    if ev == SockEvent::Readable {
+                        while let Ok(conn) = AppLib::accept(&app, sim, fd) {
+                            app.borrow_mut()
+                                .set_event_handler(conn, conn_handler.clone());
+                        }
+                    }
+                },
+            ));
+            server_app
+                .borrow_mut()
+                .set_event_handler(lfd, listen_handler);
+        }
+
+        let client_app = bed.hosts[0].spawn_app();
+        let dst = InetAddr::new(bed.hosts[1].ip, 9);
+        let total: usize = 256 * 1024;
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        let sent = Rc::new(RefCell::new(0usize));
+        let cfd = AppLib::socket(&client_app, &mut bed.sim, Proto::Tcp);
+        {
+            let app = client_app.clone();
+            let sent = sent.clone();
+            let data = data.clone();
+            let handler: FdEventFn = Rc::new(RefCell::new(
+                move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                    if matches!(ev, SockEvent::Connected | SockEvent::Writable) {
+                        loop {
+                            let off = *sent.borrow();
+                            if off >= data.len() {
+                                break;
+                            }
+                            match AppLib::send(
+                                &app,
+                                sim,
+                                fd,
+                                &data[off..(off + 8192).min(data.len())],
+                            ) {
+                                Ok(n) => *sent.borrow_mut() += n,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                },
+            ));
+            client_app.borrow_mut().set_event_handler(cfd, handler);
+        }
+        AppLib::connect(&client_app, &mut bed.sim, cfd, dst).unwrap();
+        let ok = run_until(&mut bed, SimTime::from_secs(60), || {
+            received.borrow().len() >= total
+        });
+        assert!(
+            ok,
+            "{}: only {} of {} bytes arrived",
+            config.label(),
+            received.borrow().len(),
+            total
+        );
+        assert_eq!(
+            received.borrow().as_slice(),
+            data.as_slice(),
+            "{}: corruption",
+            config.label()
+        );
+    }
+}

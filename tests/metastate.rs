@@ -1,0 +1,107 @@
+//! Protocol metastate caching (§3.3): routes and ARP mappings are owned
+//! by the operating system, cached by applications, and invalidated
+//! through callbacks.
+
+mod common;
+
+use common::udp_echo_server;
+use psd::core::AppLib;
+use psd::netstack::InetAddr;
+use psd::server::{OsServer, Proto};
+use psd::sim::Platform;
+use psd::systems::{SystemConfig, TestBed};
+
+#[test]
+fn migrated_sessions_carry_the_metastate_snapshot() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 81);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    // The migration loaded the server's route table into the library.
+    let stack = app.borrow().stack().unwrap();
+    let os_stack = bed.hosts[0].server.as_ref().unwrap().borrow().stack();
+    assert_eq!(
+        stack.borrow().routes.version(),
+        os_stack.borrow().routes.version()
+    );
+    assert!(
+        stack.borrow().routes.lookup(bed.hosts[1].ip).is_some(),
+        "the library can route without asking the server"
+    );
+}
+
+#[test]
+fn arp_invalidation_reaches_application_caches() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 83);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd, b"warm", None).unwrap();
+    bed.settle();
+    let stack = app.borrow().stack().unwrap();
+    let now = bed.sim.now();
+    assert!(
+        stack.borrow().arp.lookup(bed.hosts[1].ip, now).is_some(),
+        "warm traffic populated the application's ARP cache"
+    );
+
+    // The server invalidates the entry; the callback must clear the
+    // application's cached copy ("The operating system maintains
+    // callbacks into applications for these cached entries and
+    // invalidates them as they expire or are updated").
+    let os = bed.hosts[0].server.clone().unwrap();
+    OsServer::invalidate_arp(&os, &mut bed.sim, bed.hosts[1].ip);
+    bed.settle();
+    let now = bed.sim.now();
+    assert!(
+        stack.borrow().arp.lookup(bed.hosts[1].ip, now).is_none(),
+        "invalidation must reach the application cache"
+    );
+    assert!(app.borrow().stats.arp_invalidations >= 1);
+
+    // Traffic recovers: the next sends re-resolve through the server.
+    AppLib::sendto(&app, &mut bed.sim, fd, b"after invalidation", None).unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd, b"after invalidation", None).unwrap();
+    bed.settle();
+    let mut buf = [0u8; 64];
+    let mut got = 0;
+    while let Ok((n, _)) = AppLib::recvfrom(&app, &mut bed.sim, fd, &mut buf) {
+        got += n;
+    }
+    assert!(got > 0, "traffic must recover after re-resolution");
+}
+
+#[test]
+fn library_resolver_caches_after_one_rpc() {
+    let mut bed = TestBed::new(
+        SystemConfig::LibraryShmIpf,
+        Platform::DecStation5000_200,
+        85,
+    );
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd, b"a", None).unwrap();
+    bed.settle();
+    let rpcs_after_first = app.borrow().stats.control_rpcs;
+    for _ in 0..10 {
+        AppLib::sendto(&app, &mut bed.sim, fd, b"b", None).unwrap();
+        bed.settle();
+    }
+    assert_eq!(
+        app.borrow().stats.control_rpcs,
+        rpcs_after_first,
+        "steady-state sends must not consult the server"
+    );
+}

@@ -1,0 +1,250 @@
+//! Session migration under adversity: mid-stream migration, crash
+//! cleanup, stray-segment suppression, and loss recovery across the
+//! full decomposed system.
+
+mod common;
+
+use common::{run_until, tcp_client, tcp_echo_server};
+use psd::core::AppLib;
+use psd::netdev::FaultModel;
+use psd::netstack::InetAddr;
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+
+#[test]
+fn tcp_transfer_survives_frame_loss_in_library_mode() {
+    // 5% loss on the wire; the transfer must still complete exactly.
+    let mut bed = TestBed::with_faults(
+        SystemConfig::LibraryShmIpf,
+        Platform::DecStation5000_200,
+        31,
+        FaultModel::lossy(0.05),
+    );
+    let server_app = bed.hosts[1].spawn_app();
+    let echoed = tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(60), || {
+        *client.connected.borrow()
+    }));
+    // Send 64 KB through the lossy wire in 4 KB pieces.
+    let total = 64 * 1024;
+    let mut sent = 0;
+    let mut guard = 0;
+    while sent < total {
+        guard += 1;
+        assert!(guard < 10_000, "stalled at {sent}");
+        if let Ok(n) = AppLib::send(&client_app, &mut bed.sim, client.fd, &vec![7u8; 4096]) {
+            sent += n
+        }
+        bed.run_for(SimTime::from_millis(50));
+    }
+    assert!(
+        run_until(&mut bed, SimTime::from_secs(300), || {
+            client.replies.borrow().len() >= total
+        }),
+        "echo incomplete: {} of {total}",
+        client.replies.borrow().len()
+    );
+    assert_eq!(*echoed.borrow(), total);
+    assert!(
+        bed.ether.borrow().stats().dropped > 0,
+        "the fault injector must actually have dropped frames"
+    );
+    // Retransmissions happened in the *application's* stack.
+    let rexmt = client_app
+        .borrow()
+        .stack()
+        .map(|s| s.borrow().stats.tcp_rexmt)
+        .unwrap_or(0);
+    let srv_rexmt = server_app
+        .borrow()
+        .stack()
+        .map(|s| s.borrow().stats.tcp_rexmt)
+        .unwrap_or(0);
+    assert!(rexmt + srv_rexmt > 0, "loss must cause retransmissions");
+}
+
+#[test]
+fn reordering_and_duplication_do_not_corrupt_the_stream() {
+    let mut bed = TestBed::with_faults(
+        SystemConfig::LibraryShm,
+        Platform::DecStation5000_200,
+        37,
+        FaultModel {
+            duplicate: 0.05,
+            reorder: 0.05,
+            reorder_delay: SimTime::from_millis(3),
+            ..FaultModel::default()
+        },
+    );
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(60), || {
+        *client.connected.borrow()
+    }));
+    let pattern: Vec<u8> = (0..32 * 1024u32).map(|i| (i % 239) as u8).collect();
+    let mut sent = 0;
+    let mut guard = 0;
+    while sent < pattern.len() {
+        guard += 1;
+        assert!(guard < 10_000);
+        if let Ok(n) = AppLib::send(&client_app, &mut bed.sim, client.fd, &pattern[sent..]) {
+            sent += n
+        }
+        bed.run_for(SimTime::from_millis(50));
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(300), || {
+        client.replies.borrow().len() >= pattern.len()
+    }));
+    assert_eq!(
+        client.replies.borrow().as_slice(),
+        pattern.as_slice(),
+        "exactly-once in-order delivery violated"
+    );
+}
+
+#[test]
+fn process_death_cleans_up_sessions_ports_and_filters() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 41);
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *client.connected.borrow()
+    }));
+    let sessions_before = os.borrow().session_count();
+    assert!(sessions_before > 0);
+
+    // The process dies without closing anything ("unexpected shutdown").
+    AppLib::die(&client_app, &mut bed.sim);
+    bed.settle();
+    assert!(os.borrow().stats.crash_cleanups >= 1);
+    assert!(os.borrow().session_count() < sessions_before);
+    // New processes can immediately reuse the host's resources: a fresh
+    // connect on the same quad works.
+    let fresh_app = bed.hosts[0].spawn_app();
+    let fresh = tcp_client(&mut bed, &fresh_app, dst);
+    assert!(
+        run_until(&mut bed, SimTime::from_secs(30), || {
+            *fresh.connected.borrow()
+        }),
+        "fresh connection after crash must establish"
+    );
+}
+
+#[test]
+fn stray_segments_after_migration_do_not_reset_live_sessions() {
+    // Establish a connection (migrating it into the client app); then
+    // let the peer keep talking. Any stragglers that reach the server's
+    // catch-all must be suppressed, not RST.
+    let mut bed = TestBed::new(SystemConfig::LibraryIpc, Platform::DecStation5000_200, 43);
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *client.connected.borrow()
+    }));
+    for _ in 0..5 {
+        AppLib::send(&client_app, &mut bed.sim, client.fd, b"chatter").unwrap();
+        bed.run_for(SimTime::from_millis(200));
+    }
+    bed.settle();
+    assert_eq!(
+        *client.error.borrow(),
+        None,
+        "live migrated session must not be reset"
+    );
+    assert_eq!(client.replies.borrow().len(), 35);
+}
+
+#[test]
+fn udp_session_migrates_with_queued_datagrams() {
+    // Datagrams that arrive between bind-at-server and pickup must not
+    // be lost: they travel inside the migration capsule.
+    let mut bed = TestBed::new(SystemConfig::UxServer, Platform::DecStation5000_200, 47);
+    // Server-based receiver (stays in the server).
+    let recv_app = bed.hosts[1].spawn_app();
+    let rfd = AppLib::socket(&recv_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&recv_app, &mut bed.sim, rfd, 5000).unwrap();
+    // Sender from the other host.
+    let send_app = bed.hosts[0].spawn_app();
+    let sfd = AppLib::socket(&send_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&send_app, &mut bed.sim, sfd, 5001).unwrap();
+    bed.settle();
+    AppLib::sendto(
+        &send_app,
+        &mut bed.sim,
+        sfd,
+        b"queued before read",
+        Some(InetAddr::new(bed.hosts[1].ip, 5000)),
+    )
+    .unwrap();
+    bed.settle();
+    let mut buf = [0u8; 64];
+    let (n, from) = AppLib::recvfrom(&recv_app, &mut bed.sim, rfd, &mut buf).expect("delivered");
+    assert_eq!(&buf[..n], b"queued before read");
+    assert_eq!(from, InetAddr::new(bed.hosts[0].ip, 5001));
+}
+
+#[test]
+fn tcp_close_holds_port_through_time_wait() {
+    // "properly closing a TCP connection requires a four-way handshake
+    // … followed by a waiting period" — the server runs that protocol
+    // after the session migrates back, and releases resources only when
+    // it completes.
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 53);
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&client_app, &mut bed.sim, fd, 4321).unwrap();
+    let connected = std::rc::Rc::new(std::cell::RefCell::new(false));
+    {
+        let c = connected.clone();
+        client_app.borrow_mut().set_event_handler(
+            fd,
+            std::rc::Rc::new(std::cell::RefCell::new(
+                move |_sim: &mut psd::sim::Sim, _fd, ev| {
+                    if ev == psd::netstack::SockEvent::Connected {
+                        *c.borrow_mut() = true;
+                    }
+                },
+            )),
+        );
+    }
+    AppLib::connect(&client_app, &mut bed.sim, fd, dst).unwrap();
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *connected.borrow()
+    }));
+    assert!(os.borrow().ports().in_use(Proto::Tcp, 4321));
+
+    // Clean close: the session migrates back; the active closer enters
+    // TIME_WAIT at the server.
+    AppLib::close(&client_app, &mut bed.sim, fd);
+    bed.run_for(SimTime::from_secs(5));
+    assert!(
+        os.borrow().ports().in_use(Proto::Tcp, 4321),
+        "port must stay reserved during the 2MSL wait"
+    );
+    // After 2MSL (60 s) the shutdown protocol completes and the port
+    // frees.
+    bed.run_for(SimTime::from_secs(70));
+    assert!(
+        !os.borrow().ports().in_use(Proto::Tcp, 4321),
+        "port must be released once TIME_WAIT expires"
+    );
+}

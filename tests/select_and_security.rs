@@ -1,0 +1,301 @@
+//! The cooperative `select` (§3.2) and the packet-filter security
+//! property (§3.4).
+
+mod common;
+
+use common::{run_until, udp_echo_server};
+use psd::core::{AppLib, Fd, SelectOutcome};
+use psd::netstack::InetAddr;
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn lib_bed(seed: u64) -> TestBed {
+    TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, seed)
+}
+
+#[test]
+fn select_on_local_descriptors_does_not_involve_the_server() {
+    let mut bed = lib_bed(61);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd, b"warm", None).unwrap();
+    bed.settle();
+    let mut buf = [0u8; 16];
+    let _ = AppLib::recvfrom(&app, &mut bed.sim, fd, &mut buf);
+
+    let rpcs_before = app.borrow().stats.control_rpcs;
+    // Select, then make data arrive; the wait must complete without any
+    // server interaction ("In cases where all descriptors are managed
+    // by the application, the operating system is not involved").
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &app,
+        &mut bed.sim,
+        vec![fd],
+        vec![],
+        Some(SimTime::from_secs(5)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    AppLib::sendto(&app, &mut bed.sim, fd, b"trigger", None).unwrap();
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        outcome.borrow().is_some()
+    }));
+    let o = outcome.borrow().clone().unwrap();
+    assert_eq!(o.readable, vec![fd]);
+    assert!(!o.timed_out);
+    assert_eq!(
+        app.borrow().stats.control_rpcs,
+        rpcs_before,
+        "local-only select must not call the server"
+    );
+}
+
+#[test]
+fn select_timeout_fires_when_nothing_is_ready() {
+    let mut bed = lib_bed(63);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9100).unwrap();
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &app,
+        &mut bed.sim,
+        vec![fd],
+        vec![],
+        Some(SimTime::from_millis(100)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    assert!(run_until(&mut bed, SimTime::from_secs(2), || {
+        outcome.borrow().is_some()
+    }));
+    assert!(outcome.borrow().as_ref().unwrap().timed_out);
+}
+
+#[test]
+fn mixed_select_wakes_via_proxy_status() {
+    // One migrated (local) descriptor and one server-resident
+    // descriptor force the cooperative path: the server's select must
+    // be woken by the library's proxy_status report when local data
+    // arrives.
+    let mut bed = lib_bed(67);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    // Local descriptor.
+    let local_fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, local_fd, 9000).unwrap();
+    AppLib::connect(
+        &app,
+        &mut bed.sim,
+        local_fd,
+        InetAddr::new(bed.hosts[1].ip, 53),
+    )
+    .unwrap();
+    // Server-resident descriptor: a TCP listener stays in the server.
+    let listener = AppLib::socket(&app, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&app, &mut bed.sim, listener, 2323).unwrap();
+    AppLib::listen(&app, &mut bed.sim, listener, 2).unwrap();
+    bed.settle();
+
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &app,
+        &mut bed.sim,
+        vec![local_fd, listener],
+        vec![],
+        Some(SimTime::from_secs(30)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    let status_before = app.borrow().stats.status_reports;
+    // Trigger the local descriptor.
+    AppLib::sendto(&app, &mut bed.sim, local_fd, b"trigger", None).unwrap();
+    assert!(run_until(&mut bed, SimTime::from_secs(30), || {
+        outcome.borrow().is_some()
+    }));
+    let o = outcome.borrow().clone().unwrap();
+    assert!(o.readable.contains(&local_fd));
+    assert!(!o.timed_out);
+    assert!(
+        app.borrow().stats.status_reports > status_before,
+        "the library must have reported the status change (proxy_status)"
+    );
+}
+
+#[test]
+fn select_wakes_on_server_resident_listener() {
+    // The inverse: the watched event happens on the server-resident
+    // descriptor (an incoming connection).
+    let mut bed = lib_bed(69);
+    let app = bed.hosts[1].spawn_app();
+    let listener = AppLib::socket(&app, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&app, &mut bed.sim, listener, 80).unwrap();
+    AppLib::listen(&app, &mut bed.sim, listener, 2).unwrap();
+    // Also watch a quiet local UDP socket to force the mixed path.
+    let quiet = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, quiet, 9500).unwrap();
+
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &app,
+        &mut bed.sim,
+        vec![listener, quiet],
+        vec![],
+        Some(SimTime::from_secs(30)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    // A client connects from the other host.
+    let client_app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let _client = common::tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(30), || {
+        outcome.borrow().is_some()
+    }));
+    let o = outcome.borrow().clone().unwrap();
+    assert!(o.readable.contains(&listener), "listener became acceptable");
+}
+
+#[test]
+fn packet_filters_isolate_applications() {
+    // Two applications on the same host, each with its own UDP session.
+    // Traffic for one must never reach the other's stack (§3.4).
+    let mut bed = lib_bed(71);
+    let app_a = bed.hosts[0].spawn_app();
+    let app_b = bed.hosts[0].spawn_app();
+    let fd_a = AppLib::socket(&app_a, &mut bed.sim, Proto::Udp);
+    let fd_b = AppLib::socket(&app_b, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app_a, &mut bed.sim, fd_a, 1000).unwrap();
+    AppLib::bind(&app_b, &mut bed.sim, fd_b, 2000).unwrap();
+
+    // A sender on the other host sprays both ports.
+    let sender = bed.hosts[1].spawn_app();
+    let sfd = AppLib::socket(&sender, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&sender, &mut bed.sim, sfd, 3000).unwrap();
+    bed.settle();
+    // Warm the ARP path (the first cold-cache datagram may drop, which
+    // is legitimate UDP behaviour).
+    AppLib::sendto(
+        &sender,
+        &mut bed.sim,
+        sfd,
+        b"warm",
+        Some(InetAddr::new(bed.hosts[0].ip, 9)),
+    )
+    .unwrap();
+    bed.settle();
+    for _ in 0..3 {
+        AppLib::sendto(
+            &sender,
+            &mut bed.sim,
+            sfd,
+            b"for A",
+            Some(InetAddr::new(bed.hosts[0].ip, 1000)),
+        )
+        .unwrap();
+        AppLib::sendto(
+            &sender,
+            &mut bed.sim,
+            sfd,
+            b"for B",
+            Some(InetAddr::new(bed.hosts[0].ip, 2000)),
+        )
+        .unwrap();
+        bed.settle();
+    }
+    let stack_a = app_a.borrow().stack().unwrap();
+    let stack_b = app_b.borrow().stack().unwrap();
+    assert_eq!(stack_a.borrow().stats.udp_in, 3, "A sees exactly its own");
+    assert_eq!(stack_b.borrow().stats.udp_in, 3, "B sees exactly its own");
+    // And the frames really were demultiplexed by the kernel filter.
+    let kstats = bed.hosts[0].kernel.borrow().stats();
+    assert!(kstats.rx_session >= 6);
+}
+
+#[test]
+fn closed_session_filters_are_removed() {
+    let mut bed = lib_bed(73);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 1000).unwrap();
+    bed.settle();
+    AppLib::close(&app, &mut bed.sim, fd);
+    bed.settle();
+    // Traffic to the old port now falls to the server (which answers
+    // ICMP port unreachable), not to the application.
+    let sender = bed.hosts[1].spawn_app();
+    let sfd = AppLib::socket(&sender, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&sender, &mut bed.sim, sfd, 3000).unwrap();
+    bed.settle();
+    // Warm the ARP path first (a cold-cache datagram may drop).
+    AppLib::sendto(
+        &sender,
+        &mut bed.sim,
+        sfd,
+        b"warm",
+        Some(InetAddr::new(bed.hosts[0].ip, 9)),
+    )
+    .unwrap();
+    bed.settle();
+    let before_session = bed.hosts[0].kernel.borrow().stats().rx_session;
+    AppLib::sendto(
+        &sender,
+        &mut bed.sim,
+        sfd,
+        b"ghost",
+        Some(InetAddr::new(bed.hosts[0].ip, 1000)),
+    )
+    .unwrap();
+    bed.settle();
+    let k = bed.hosts[0].kernel.borrow().stats();
+    assert_eq!(
+        k.rx_session, before_session,
+        "no session filter may claim traffic for a closed session"
+    );
+    let os_stack = bed.hosts[0].server.as_ref().unwrap().borrow().stack();
+    assert!(os_stack.borrow().stats.no_socket >= 1);
+}
+
+#[test]
+fn fd_events_route_to_correct_descriptor() {
+    // Regression guard for the sock→fd routing table: two sockets in
+    // one app, events must not cross.
+    let mut bed = lib_bed(79);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd1 = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    let fd2 = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd1, 9001).unwrap();
+    AppLib::bind(&app, &mut bed.sim, fd2, 9002).unwrap();
+    let hits: Rc<RefCell<Vec<Fd>>> = Rc::new(RefCell::new(Vec::new()));
+    for fd in [fd1, fd2] {
+        let hits = hits.clone();
+        app.borrow_mut().set_event_handler(
+            fd,
+            Rc::new(RefCell::new(
+                move |_sim: &mut psd::sim::Sim, fd: Fd, ev: psd::netstack::SockEvent| {
+                    if ev == psd::netstack::SockEvent::Readable {
+                        hits.borrow_mut().push(fd);
+                    }
+                },
+            )),
+        );
+    }
+    // Warm the path: connect prewarms the metastate cache.
+    AppLib::connect(&app, &mut bed.sim, fd2, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd2, b"only fd2 expects a reply", None).unwrap();
+    bed.settle();
+    assert_eq!(hits.borrow().as_slice(), &[fd2]);
+}

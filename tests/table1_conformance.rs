@@ -1,0 +1,252 @@
+//! Table 1 conformance: each BSD socket call maps to exactly the
+//! proxy/server interaction the paper specifies, and — crucially — the
+//! send/receive calls involve the operating system *not at all* in the
+//! library architecture.
+
+mod common;
+
+use common::{run_until, tcp_client, tcp_echo_server, udp_echo_server};
+use psd::core::AppLib;
+use psd::netstack::InetAddr;
+use psd::server::Proto;
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+
+fn lib_bed() -> TestBed {
+    TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 21)
+}
+
+#[test]
+fn socket_creates_a_server_managed_session() {
+    let mut bed = lib_bed();
+    let app = bed.hosts[0].spawn_app();
+    let server = bed.hosts[0].server.clone().unwrap();
+    let before = server.borrow().session_count();
+    let _fd = AppLib::socket(&app, &mut bed.sim, Proto::Tcp);
+    assert_eq!(server.borrow().session_count(), before + 1);
+    assert_eq!(app.borrow().stats.control_rpcs, 1);
+}
+
+#[test]
+fn udp_bind_migrates_session_to_application() {
+    let mut bed = lib_bed();
+    let app = bed.hosts[0].spawn_app();
+    let server = bed.hosts[0].server.clone().unwrap();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    assert_eq!(app.borrow().stats.migrations_in, 0);
+    AppLib::bind(&app, &mut bed.sim, fd, 7777).unwrap();
+    // "UDP sessions migrate to the application" on bind.
+    assert_eq!(app.borrow().stats.migrations_in, 1);
+    assert_eq!(server.borrow().stats.migrations_out, 1);
+    // The port is reserved at the server even though the session is out.
+    assert!(server.borrow().ports().in_use(Proto::Udp, 7777));
+    // The library stack owns the socket now.
+    assert_eq!(
+        app.borrow().local_addr(fd),
+        Some(InetAddr::new(bed.hosts[0].ip, 7777))
+    );
+}
+
+#[test]
+fn tcp_bind_claims_port_without_migration() {
+    let mut bed = lib_bed();
+    let app = bed.hosts[0].spawn_app();
+    let server = bed.hosts[0].server.clone().unwrap();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Tcp);
+    AppLib::bind(&app, &mut bed.sim, fd, 8888).unwrap();
+    // "For TCP, only the local endpoint is returned … because the
+    // remote endpoint is not yet known."
+    assert_eq!(app.borrow().stats.migrations_in, 0);
+    assert!(server.borrow().ports().in_use(Proto::Tcp, 8888));
+}
+
+#[test]
+fn duplicate_bind_rejected_by_port_manager() {
+    let mut bed = lib_bed();
+    let app1 = bed.hosts[0].spawn_app();
+    let app2 = bed.hosts[0].spawn_app();
+    let fd1 = AppLib::socket(&app1, &mut bed.sim, Proto::Udp);
+    let fd2 = AppLib::socket(&app2, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app1, &mut bed.sim, fd1, 5555).unwrap();
+    let err = AppLib::bind(&app2, &mut bed.sim, fd2, 5555).unwrap_err();
+    assert_eq!(err, psd::netstack::SocketError::AddrInUse);
+}
+
+#[test]
+fn connect_migrates_tcp_session_after_handshake() {
+    let mut bed = lib_bed();
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(5), || {
+        *client.connected.borrow()
+    }));
+    // Both the active side (connect) and the passive side (accept)
+    // migrated.
+    assert_eq!(app.borrow().stats.migrations_in, 1);
+    assert!(server_app.borrow().stats.migrations_in >= 1);
+    // The established session carries the remote endpoint.
+    assert_eq!(
+        app.borrow().remote_addr(client.fd),
+        Some(InetAddr::new(bed.hosts[1].ip, 80))
+    );
+}
+
+#[test]
+fn send_recv_do_not_contact_the_server_in_library_mode() {
+    let mut bed = lib_bed();
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    // One warmup round trip lets the metastate cache fill (the first
+    // send may consult the server's ARP service once).
+    AppLib::sendto(&app, &mut bed.sim, fd, b"warm", None).unwrap();
+    bed.settle();
+    let mut buf = [0u8; 16];
+    let _ = AppLib::recvfrom(&app, &mut bed.sim, fd, &mut buf);
+
+    let rpcs_before = app.borrow().stats.control_rpcs;
+    let data_rpcs_before = app.borrow().stats.data_rpcs;
+    // "Transfer data to or from the network. The operating system is
+    // not involved."
+    for _ in 0..20 {
+        AppLib::sendto(&app, &mut bed.sim, fd, b"ping", None).unwrap();
+        bed.settle();
+        let mut buf = [0u8; 16];
+        let _ = AppLib::recvfrom(&app, &mut bed.sim, fd, &mut buf);
+    }
+    assert_eq!(app.borrow().stats.control_rpcs, rpcs_before);
+    assert_eq!(app.borrow().stats.data_rpcs, data_rpcs_before);
+}
+
+#[test]
+fn server_based_mode_pays_rpcs_for_data() {
+    let mut bed = TestBed::new(SystemConfig::UxServer, Platform::DecStation5000_200, 22);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+    let before = app.borrow().stats.data_rpcs;
+    AppLib::sendto(&app, &mut bed.sim, fd, b"ping", None).unwrap();
+    assert!(app.borrow().stats.data_rpcs > before);
+}
+
+#[test]
+fn fork_returns_sessions_and_shares_descriptors() {
+    let mut bed = lib_bed();
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    assert_eq!(app.borrow().stats.migrations_in, 1);
+
+    // "All sessions should be returned to the operating system before
+    // fork is called."
+    let child = AppLib::fork(&app, &mut bed.sim).expect("fork");
+    assert_eq!(app.borrow().stats.migrations_out, 1);
+    assert!(os.borrow().stats.migrations_in >= 1);
+    assert_ne!(app.borrow().proc_id(), child.borrow().proc_id());
+
+    // Both parent and child can use the shared descriptor — routed
+    // through the server now.
+    bed.settle();
+    AppLib::sendto(
+        &app,
+        &mut bed.sim,
+        fd,
+        b"from parent",
+        Some(InetAddr::new(bed.hosts[1].ip, 53)),
+    )
+    .unwrap();
+    AppLib::sendto(
+        &child,
+        &mut bed.sim,
+        fd,
+        b"from child",
+        Some(InetAddr::new(bed.hosts[1].ip, 53)),
+    )
+    .unwrap();
+    assert!(app.borrow().stats.data_rpcs >= 1);
+    assert!(child.borrow().stats.data_rpcs >= 1);
+    bed.settle();
+}
+
+#[test]
+fn close_returns_session_and_releases_port() {
+    let mut bed = lib_bed();
+    let app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 7000).unwrap();
+    assert!(os.borrow().ports().in_use(Proto::Udp, 7000));
+    AppLib::close(&app, &mut bed.sim, fd);
+    bed.settle();
+    // The session migrated back and was torn down; the port is free.
+    assert!(!os.borrow().ports().in_use(Proto::Udp, 7000));
+    assert!(os.borrow().stats.migrations_in >= 1);
+    assert!(!app.borrow().fd_exists(fd));
+}
+
+#[test]
+fn all_ten_data_call_spellings_work() {
+    // "recv, recvfrom, recvmsg, read, readv, and send, sendto, sendmsg,
+    // write, and writev … are implemented entirely within the
+    // application's protocol library."
+    let mut bed = lib_bed();
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let app = bed.hosts[0].spawn_app();
+    let fd = AppLib::socket(&app, &mut bed.sim, psd::server::Proto::Udp);
+    AppLib::bind(&app, &mut bed.sim, fd, 9000).unwrap();
+    AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
+    bed.settle();
+
+    // send / write / sendto / sendmsg / writev.
+    AppLib::send(&app, &mut bed.sim, fd, b"one ").unwrap();
+    bed.settle();
+    AppLib::write(&app, &mut bed.sim, fd, b"two ").unwrap();
+    bed.settle();
+    AppLib::sendto(&app, &mut bed.sim, fd, b"three ", None).unwrap();
+    bed.settle();
+    AppLib::sendmsg(&app, &mut bed.sim, fd, &[b"fo", b"ur "], None).unwrap();
+    bed.settle();
+    AppLib::writev(&app, &mut bed.sim, fd, &[b"five"]).unwrap();
+    bed.settle();
+
+    // recv / read / recvfrom / recvmsg / readv.
+    let mut collected = Vec::new();
+    let mut buf = [0u8; 64];
+    let n = AppLib::recv(&app, &mut bed.sim, fd, &mut buf).unwrap();
+    collected.extend_from_slice(&buf[..n]);
+    let n = AppLib::read(&app, &mut bed.sim, fd, &mut buf).unwrap();
+    collected.extend_from_slice(&buf[..n]);
+    let (n, _) = AppLib::recvfrom(&app, &mut bed.sim, fd, &mut buf).unwrap();
+    collected.extend_from_slice(&buf[..n]);
+    let mut a = [0u8; 2];
+    let mut b = [0u8; 62];
+    let (n, from) = AppLib::recvmsg(&app, &mut bed.sim, fd, &mut [&mut a[..], &mut b[..]]).unwrap();
+    assert_eq!(from, InetAddr::new(bed.hosts[1].ip, 53));
+    collected.extend_from_slice(&a[..n.min(2)]);
+    if n > 2 {
+        collected.extend_from_slice(&b[..n - 2]);
+    }
+    let mut c = [0u8; 64];
+    let n = AppLib::readv(&app, &mut bed.sim, fd, &mut [&mut c[..]]).unwrap();
+    collected.extend_from_slice(&c[..n]);
+
+    assert_eq!(collected, b"one two three four five");
+    // None of the data calls contacted the server (library mode): the
+    // only RPCs were socket/bind/connect(+1 ARP prewarm at most).
+    assert!(app.borrow().stats.data_rpcs == 0);
+}
