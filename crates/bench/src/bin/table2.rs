@@ -2,10 +2,13 @@
 //! latency (protolat) for every system configuration on both
 //! platforms.
 //!
-//! Usage: `cargo run --release -p psd-bench --bin table2 [--quick] [--gateway|--decstation]`
+//! Usage: `cargo run --release -p psd-bench --bin table2 [--quick] [--gateway|--decstation] [--census]`
 //!
 //! `--quick` transfers 2 MB instead of the paper's 16 MB and runs 50
-//! latency rounds instead of 200.
+//! latency rounds instead of 200. `--census` appends an operation
+//! census (crossings, copies, locks, wakeups per host) for each
+//! configuration's ttcp run; counting never charges virtual time, so
+//! every numeric result is identical with or without it.
 
 use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
 use psd_bench::{protolat, ttcp, ApiStyle};
@@ -16,6 +19,7 @@ use psd_systems::TestBed;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let want_census = args.iter().any(|a| a == "--census");
     let (bytes, rounds) = if quick {
         (2 << 20, 50)
     } else {
@@ -40,6 +44,7 @@ fn main() {
             let config = row.config;
             // Throughput.
             let mut bed = TestBed::new(config, platform, 42);
+            let censuses = want_census.then(|| bed.attach_census());
             let t = ttcp(&mut bed, bytes, ApiStyle::Classic);
             println!("{}", config.label());
             println!(
@@ -79,6 +84,15 @@ fn main() {
                 );
             }
             println!("\n");
+            if let Some(censuses) = censuses {
+                for (i, census) in censuses.iter().enumerate() {
+                    println!("  census host{i} (ttcp run):");
+                    for line in census.borrow().snapshot().lines() {
+                        println!("    {line}");
+                    }
+                }
+                println!();
+            }
         }
         // The §4.1 derived claims.
         println!("-- derived shape checks ({}) --", platform.label());

@@ -3,7 +3,11 @@
 //! (UX) protocol stacks, TCP and UDP, at the minimum and maximum
 //! unfragmented message sizes.
 //!
-//! Usage: `cargo run -p psd-bench --bin table4 [--rounds N]`
+//! Usage: `cargo run -p psd-bench --bin table4 [--rounds N] [--census]`
+//!
+//! `--census` appends an operation census (crossings, copies, locks,
+//! wakeups per host) after each column; counting never charges virtual
+//! time, so every latency figure is identical with or without it.
 
 use psd_bench::tables::{table4, Table4Column};
 use psd_bench::{protolat, ApiStyle};
@@ -26,23 +30,25 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let want_census = std::env::args().any(|a| a == "--census");
 
     println!("Table 4: average latency by layer (microseconds, one-way)");
     println!("measured / (paper)  —  {} round trips per column\n", rounds);
 
     let published = table4();
     for col in &published {
-        run_column(col, rounds);
+        run_column(col, rounds, want_census);
     }
 }
 
-fn run_column(col: &Table4Column, rounds: u32) {
+fn run_column(col: &Table4Column, rounds: u32, want_census: bool) {
     let config = config_for(col.system);
     let proto = match col.proto {
         "TCP" => Proto::Tcp,
         _ => Proto::Udp,
     };
     let mut bed = TestBed::new(config, Platform::DecStation5000_200, 7);
+    let censuses = want_census.then(|| bed.attach_census());
     let result = protolat(&mut bed, proto, col.size, 25, rounds, ApiStyle::Classic);
 
     // Each round trip contains one message each way: per-message layer
@@ -105,4 +111,13 @@ fn run_column(col: &Table4Column, rounds: u32) {
         "  {:<22} {:7.0}  ({:5})\n",
         "network transit", transit, col.transit
     );
+    if let Some(censuses) = censuses {
+        for (i, census) in censuses.iter().enumerate() {
+            println!("  census host{i}:");
+            for line in census.borrow().snapshot().lines() {
+                println!("    {line}");
+            }
+        }
+        println!();
+    }
 }

@@ -13,7 +13,7 @@ use psd_netstack::{InetAddr, SocketError};
 use psd_server::{
     stack_sink_with_busy_report, MigratedSession, OsServer, Proto, RxSetup, SessionId, SessionReply,
 };
-use psd_sim::{Layer, Sim, SimTime};
+use psd_sim::{Domain, Layer, Sim, SimTime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -27,7 +27,8 @@ impl AppLib {
             ApiMode::InKernel => {
                 let stack = this.borrow().stack.clone().expect("kernel stack");
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );
@@ -177,7 +178,8 @@ impl AppLib {
                 };
                 let proto = this.borrow().fds.get(&fd).expect("exists").proto;
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );
@@ -262,7 +264,8 @@ impl AppLib {
                     )
                 };
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );
@@ -400,7 +403,8 @@ impl AppLib {
                 let stack = app.stack.clone().expect("kernel stack");
                 drop(app);
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );
@@ -443,7 +447,8 @@ impl AppLib {
                 let stack = app.stack.clone().expect("kernel stack");
                 drop(app);
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );
@@ -575,7 +580,8 @@ impl AppLib {
                 let stack = this.borrow().stack.clone().expect("kernel stack");
                 let local = stack.borrow().local_addr(sock);
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::Control,
                     SimTime::from_nanos(this.borrow().costs.trap),
                 );

@@ -19,7 +19,7 @@ use psd_kernel::rpc_data_charge;
 use psd_mbuf::MbufChain;
 use psd_netstack::{InetAddr, SocketError};
 use psd_server::Proto;
-use psd_sim::{Layer, Sim, SimTime};
+use psd_sim::{Domain, Layer, Sim, SimTime};
 use std::rc::Rc;
 
 impl AppLib {
@@ -51,7 +51,8 @@ impl AppLib {
                 let mut charge = this.borrow().begin(sim);
                 let res = stack.borrow_mut().tcp_send(sim, &mut charge, sock, data);
                 if res.is_ok() {
-                    charge.crossing(
+                    charge.crossing_in(
+                        Domain::Kernel,
                         Layer::EntryCopyin,
                         SimTime::from_nanos(this.borrow().trap_entry()),
                     );
@@ -105,7 +106,8 @@ impl AppLib {
                 let mut charge = this.borrow().begin(sim);
                 let res = stack.borrow_mut().tcp_recv(sim, &mut charge, sock, buf);
                 if res.is_ok() {
-                    charge.crossing(
+                    charge.crossing_in(
+                        Domain::Kernel,
                         Layer::CopyoutExit,
                         SimTime::from_nanos(this.borrow().trap_exit()),
                     );
@@ -176,7 +178,8 @@ impl AppLib {
                     )
                 };
                 let mut charge = this.borrow().begin(sim);
-                charge.crossing(
+                charge.crossing_in(
+                    Domain::Kernel,
                     Layer::EntryCopyin,
                     SimTime::from_nanos(this.borrow().trap_entry()),
                 );
@@ -252,7 +255,8 @@ impl AppLib {
                 let mut charge = this.borrow().begin(sim);
                 let res = stack.borrow_mut().udp_recv(sim, &mut charge, sock, buf);
                 if res.is_ok() {
-                    charge.crossing(
+                    charge.crossing_in(
+                        Domain::Kernel,
                         Layer::CopyoutExit,
                         SimTime::from_nanos(this.borrow().trap_exit()),
                     );

@@ -196,6 +196,22 @@ impl AppLib {
                 psd_server::OsServer::proxy_arp_lookup(&server, sim, charge, ip)
             }));
 
+        // A datagram classified to this application's endpoint before
+        // a fork/close tore the filter down can still land here after
+        // the socket has been exported. Hand it back to the server,
+        // which re-presents it to the (now retargeted) classify path.
+        let weak_server = Rc::downgrade(server);
+        stack
+            .borrow_mut()
+            .set_unclaimed_udp_hook(Rc::new(RefCell::new(
+                move |sim: &mut Sim, dst: InetAddr, src: InetAddr, data: &[u8]| {
+                    let Some(server) = weak_server.upgrade() else {
+                        return false;
+                    };
+                    psd_server::OsServer::reclaim_migrated_udp(&server, sim, dst, src, data)
+                },
+            )));
+
         // Metastate invalidation callback (§3.3).
         let weak_app = Rc::downgrade(&app);
         let weak_stack = Rc::downgrade(&stack);

@@ -27,10 +27,8 @@ fn mini_host(sim: &mut Sim, ether: &EthernetHandle, ip: Ipv4Addr, station: u32) 
     );
     Kernel::connect(&kernel, ether);
     let server = OsServer::new(&kernel, ip);
-    server.borrow().stack().borrow_mut().routes = RouteTable::directly_attached(
-        Ipv4Addr::new(10, 0, 0, 0),
-        Ipv4Addr::new(255, 255, 255, 0),
-    );
+    server.borrow().stack().borrow_mut().routes =
+        RouteTable::directly_attached(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(255, 255, 255, 0));
     let _ = sim;
     MiniHost { kernel, server }
 }
@@ -124,7 +122,11 @@ fn inkernel_app_drives_the_kernel_stack() {
     let mut sim = Sim::new(5);
     let ether = Ethernet::ten_megabit(&mut sim);
     let cpu = Rc::new(RefCell::new(Cpu::new()));
-    let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu.clone(), EtherAddr::local(1));
+    let kernel = Kernel::new(
+        CostModel::decstation_5000_200(),
+        cpu.clone(),
+        EtherAddr::local(1),
+    );
     Kernel::connect(&kernel, &ether);
     let stack = NetStack::new(
         Placement::Kernel,
@@ -132,11 +134,11 @@ fn inkernel_app_drives_the_kernel_stack() {
         cpu,
         Ipv4Addr::new(10, 0, 0, 1),
     );
-    stack.borrow_mut().set_ifnet(KernelNetIf::new(kernel.clone()));
-    stack.borrow_mut().routes = RouteTable::directly_attached(
-        Ipv4Addr::new(10, 0, 0, 0),
-        Ipv4Addr::new(255, 255, 255, 0),
-    );
+    stack
+        .borrow_mut()
+        .set_ifnet(KernelNetIf::new(kernel.clone()));
+    stack.borrow_mut().routes =
+        RouteTable::directly_attached(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(255, 255, 255, 0));
     let ports = Rc::new(RefCell::new(PortNamespace::new()));
     let app = AppLib::new_inkernel(&kernel, &stack, &ports);
     assert!(matches!(app.borrow().mode(), ApiMode::InKernel));
@@ -154,7 +156,10 @@ fn inkernel_app_drives_the_kernel_stack() {
     )
     .unwrap();
     sim.run_to_idle();
-    assert!(ether.borrow().stats().tx_frames >= 1, "ARP request went out");
+    assert!(
+        ether.borrow().stats().tx_frames >= 1,
+        "ARP request went out"
+    );
     // Closing releases the port.
     AppLib::close(&app, &mut sim, fd);
     assert!(!ports.borrow().in_use(Proto::Udp, 7000));
@@ -165,7 +170,11 @@ fn fork_requires_server_architecture() {
     let mut sim = Sim::new(6);
     let ether = Ethernet::ten_megabit(&mut sim);
     let cpu = Rc::new(RefCell::new(Cpu::new()));
-    let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu.clone(), EtherAddr::local(1));
+    let kernel = Kernel::new(
+        CostModel::decstation_5000_200(),
+        cpu.clone(),
+        EtherAddr::local(1),
+    );
     Kernel::connect(&kernel, &ether);
     let stack = NetStack::new(
         Placement::Kernel,

@@ -33,7 +33,7 @@ use std::rc::Rc;
 
 use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
 use psd_netdev::{Ethernet, EthernetHandle, Station};
-use psd_sim::{Charge, CostModel, Cpu, Layer, Sim, SimTime};
+use psd_sim::{Charge, CostModel, Cpu, Domain, Layer, OpKind, Sim, SimTime};
 use psd_wire::EtherAddr;
 
 /// How packets reach an endpoint's address space.
@@ -290,8 +290,13 @@ impl Kernel {
             let k = this.borrow();
             (k.costs.trap, k.costs.kcopy_byte, k.costs.dev_write_byte)
         };
-        charge.crossing(Layer::EtherOutput, SimTime::from_nanos(trap));
+        charge.crossing_in(
+            Domain::Kernel,
+            Layer::EtherOutput,
+            SimTime::from_nanos(trap),
+        );
         charge.add_per_byte(Layer::EtherOutput, kcopy, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         // Outbound packet limiter (§3.4), if installed: the frame is
         // checked after the copy into the wired buffer, before it
         // reaches the device.
@@ -300,6 +305,7 @@ impl Kernel {
             if let Some(limiter) = &k.tx_limiter {
                 let out = limiter.run(&frame);
                 charge.add_ns(Layer::EtherOutput, k.costs.filter_insn * out.steps as u64);
+                charge.note(OpKind::FilterRun, Domain::Kernel, Layer::EtherOutput);
                 if !out.accepted {
                     k.stats.tx_rejected += 1;
                     return;
@@ -307,6 +313,7 @@ impl Kernel {
             }
         }
         charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(this, sim, charge.at(), frame, true);
     }
 
@@ -328,6 +335,7 @@ impl Kernel {
     ) {
         let devw = this.borrow().costs.dev_write_byte;
         charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(this, sim, charge.at(), frame, false);
     }
 
@@ -368,6 +376,7 @@ impl Station for Kernel {
         let mut charge = self.cpu.borrow_mut().begin(sim.now());
         // Field the interrupt.
         charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_dispatch);
+        charge.note(OpKind::Interrupt, Domain::Kernel, Layer::DeviceIntrRead);
         if self.costs.intr_penalty > 0 {
             charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_penalty);
         }
@@ -386,6 +395,11 @@ impl Station for Kernel {
             // Copy device → wired kernel buffer at interrupt level.
             charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
             charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
+            charge.note(
+                OpKind::PacketBodyCopy,
+                Domain::Kernel,
+                Layer::DeviceIntrRead,
+            );
             // netisr dispatch + in-kernel demux.
             charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
             charge.add_ns(Layer::NetisrPacketFilter, self.costs.pcb_lookup);
@@ -410,6 +424,11 @@ impl Station for Kernel {
         if !any_ipf {
             charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
             charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
+            charge.note(
+                OpKind::PacketBodyCopy,
+                Domain::Kernel,
+                Layer::DeviceIntrRead,
+            );
         }
 
         charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
@@ -418,6 +437,15 @@ impl Station for Kernel {
             Layer::NetisrPacketFilter,
             self.costs.filter_insn * result.steps as u64,
         );
+        if !self.demux.is_empty() {
+            charge.note(OpKind::FilterRun, Domain::Kernel, Layer::NetisrPacketFilter);
+        }
+        if let Some((_, owner)) = result.owner {
+            // Per-session attribution: only the session the packet is
+            // destined for is ever counted — the isolation the packet
+            // filter provides (§3.4).
+            charge.note_scoped(OpKind::FilterRun, owner.0, 1);
+        }
 
         let target = match result.owner {
             Some((_, id)) => {
@@ -443,6 +471,14 @@ impl Station for Kernel {
             cpu.borrow_mut().finish(charge);
             return;
         };
+        // Delivery crossings are attributed to the domain being entered:
+        // the default endpoint is the operating system server, session
+        // endpoints belong to applications.
+        let entered = if Some(id) == default {
+            Domain::Server
+        } else {
+            Domain::Library
+        };
 
         match ep.mode {
             RxMode::InKernel => {
@@ -457,7 +493,8 @@ impl Station for Kernel {
             RxMode::Ipc => {
                 // One IPC message per packet: copy into the message and
                 // out in the receiver, plus a scheduling wakeup.
-                charge.crossing(
+                charge.crossing_in(
+                    entered,
                     Layer::KernelCopyout,
                     SimTime::from_nanos(self.costs.ipc_oneway),
                 );
@@ -466,7 +503,9 @@ impl Station for Kernel {
                     self.costs.kcopy_cached_byte,
                     frame.len(),
                 );
+                charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
                 charge.add_ns(Layer::KernelCopyout, self.costs.sched_wakeup);
+                charge.note(OpKind::Wakeup, Domain::Kernel, Layer::KernelCopyout);
                 if let Sink::Async(sink) = &ep.sink {
                     let sink = sink.clone();
                     let at = charge.at();
@@ -482,7 +521,8 @@ impl Station for Kernel {
                     // No wired kernel buffer is set up — that is the
                     // point of the integrated filter; only the ring
                     // descriptor is allocated.
-                    charge.crossing(
+                    charge.crossing_in(
+                        entered,
                         Layer::KernelCopyout,
                         SimTime::from_nanos(self.costs.mbuf_alloc * 2),
                     );
@@ -491,10 +531,12 @@ impl Station for Kernel {
                         self.costs.dev_read_byte,
                         frame.len(),
                     );
+                    charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
                 } else {
                     // Second copy: kernel buffer → shared ring. The
                     // source is cache-warm kernel memory.
-                    charge.crossing(
+                    charge.crossing_in(
+                        entered,
                         Layer::KernelCopyout,
                         SimTime::from_nanos(self.costs.mbuf_alloc),
                     );
@@ -503,6 +545,7 @@ impl Station for Kernel {
                         self.costs.kcopy_cached_byte,
                         frame.len(),
                     );
+                    charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
                 }
                 // The wakeup decision must be taken when the data lands
                 // in the ring, after earlier deliveries have advanced
@@ -516,43 +559,60 @@ impl Station for Kernel {
                     let now = sim.now();
                     // This event runs after `frame_arrived` returned, so
                     // re-borrowing the kernel here cannot conflict.
-                    let (sink, at) = {
+                    let deliver = {
                         let mut k = kernel.borrow_mut();
                         let sched_wakeup = k.costs.sched_wakeup;
                         let cpu = k.cpu.clone();
-                        let Some(busy_until) = k.endpoints.get(&id).map(|e| e.thread_busy_until)
-                        else {
-                            return;
-                        };
-                        let at;
-                        if now >= busy_until {
-                            // The network thread is idle: signal it
-                            // (condition variable + scheduling).
-                            let mut c = cpu.borrow_mut().begin(now);
-                            c.add_ns(Layer::KernelCopyout, sched_wakeup);
-                            at = cpu.borrow_mut().finish(c);
-                            k.endpoints
-                                .get_mut(&id)
-                                .expect("checked above")
-                                .thread_busy_until = at;
-                        } else {
-                            // Thread still draining the ring: it picks
-                            // this packet up with no further scheduling
-                            // — the amortization the SHM interface
-                            // exists for.
-                            at = busy_until;
-                            k.stats.wakeups_amortized += 1;
+                        match k.endpoints.get(&id).map(|e| e.thread_busy_until) {
+                            None => None,
+                            Some(busy_until) => {
+                                let at;
+                                if now >= busy_until {
+                                    // The network thread is idle: signal
+                                    // it (condition variable +
+                                    // scheduling).
+                                    let mut c = cpu.borrow_mut().begin(now);
+                                    c.add_ns(Layer::KernelCopyout, sched_wakeup);
+                                    c.note(OpKind::Wakeup, Domain::Kernel, Layer::KernelCopyout);
+                                    at = cpu.borrow_mut().finish(c);
+                                    k.endpoints
+                                        .get_mut(&id)
+                                        .expect("checked above")
+                                        .thread_busy_until = at;
+                                } else {
+                                    // Thread still draining the ring: it
+                                    // picks this packet up with no
+                                    // further scheduling — the
+                                    // amortization the SHM interface
+                                    // exists for.
+                                    at = busy_until;
+                                    k.stats.wakeups_amortized += 1;
+                                }
+                                let Some(ep) = k.endpoints.get(&id) else {
+                                    return;
+                                };
+                                let Sink::Async(sink) = &ep.sink else { return };
+                                Some((sink.clone(), at))
+                            }
                         }
-                        let Some(ep) = k.endpoints.get(&id) else {
-                            return;
-                        };
-                        let Sink::Async(sink) = &ep.sink else { return };
-                        (sink.clone(), at)
                     };
-                    sim.at(at, move |sim| {
-                        let t = sim.now();
-                        sink.borrow_mut()(sim, t, frame);
-                    });
+                    match deliver {
+                        Some((sink, at)) => {
+                            sim.at(at, move |sim| {
+                                let t = sim.now();
+                                sink.borrow_mut()(sim, t, frame);
+                            });
+                        }
+                        None => {
+                            // The endpoint died while the packet sat in
+                            // the ring (its session migrated back
+                            // mid-flight). The filter is gone with it,
+                            // so re-presenting the frame lets the
+                            // classify path find the session's new
+                            // owner instead of leaking the packet.
+                            kernel.borrow_mut().frame_arrived(sim, frame);
+                        }
+                    }
                 });
             }
         }
@@ -580,15 +640,27 @@ pub fn note_thread_busy(kernel: &KernelHandle, id: EndpointId, until: SimTime) {
 /// socket layer itself, so three are priced here, plus the trap and the
 /// RPC machinery.
 pub fn rpc_data_charge(costs: &CostModel, charge: &mut Charge, layer: Layer, data_len: usize) {
-    charge.crossing(layer, SimTime::from_nanos(costs.trap));
+    // One RPC = two boundary crossings on the census (request into the
+    // server, reply back to the caller); the probe keeps its single
+    // Table 4 asterisk per charged crossing.
+    charge.crossing_in(Domain::Server, layer, SimTime::from_nanos(costs.trap));
+    charge.note(OpKind::BoundaryCrossing, Domain::Library, layer);
     charge.add_ns(layer, costs.rpc_base);
     charge.add_per_byte(layer, costs.ipc_copy_byte * 3, data_len);
+    charge.note(OpKind::PacketBodyCopy, Domain::Library, layer);
+    charge.note(OpKind::PacketBodyCopy, Domain::Kernel, layer);
+    charge.note(OpKind::PacketBodyCopy, Domain::Server, layer);
 }
 
 /// Charges a control-path RPC (no bulk data): proxy calls such as
 /// `proxy_socket`, `proxy_bind`, `proxy_status`.
 pub fn rpc_control_charge(costs: &CostModel, charge: &mut Charge, req_reply_len: usize) {
-    charge.crossing(Layer::Control, SimTime::from_nanos(costs.trap));
+    charge.crossing_in(
+        Domain::Server,
+        Layer::Control,
+        SimTime::from_nanos(costs.trap),
+    );
+    charge.note(OpKind::BoundaryCrossing, Domain::Library, Layer::Control);
     charge.add_ns(Layer::Control, costs.rpc_base);
     charge.add_per_byte(Layer::Control, costs.ipc_copy_byte * 4, req_reply_len);
 }

@@ -24,9 +24,36 @@
 //! are charged by the protocol code that invokes them, using the counts
 //! these APIs report (e.g. [`MbufChain::mbuf_count`]).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+
+thread_local! {
+    static COPIED_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bytes physically copied by the mbuf data primitives — `m_copyin`
+/// ([`MbufChain::from_slice`], [`MbufChain::append_slice`]), `m_copydata`
+/// ([`MbufChain::copy_to_slice`], [`MbufChain::to_vec`]), the small-mbuf
+/// arm of `m_copy`, and `m_pullup` — since the last
+/// [`reset_copy_meter`]. Header prepends are excluded (they are header
+/// copies, not packet-body copies). The simulation is single-threaded,
+/// so the tally is deterministic; the operation census uses it to
+/// cross-check the per-site copy counters against what the buffer code
+/// actually did.
+pub fn copied_bytes() -> u64 {
+    COPIED_BYTES.with(|c| c.get())
+}
+
+/// Resets this thread's mbuf copy meter to zero.
+pub fn reset_copy_meter() {
+    COPIED_BYTES.with(|c| c.set(0));
+}
+
+fn meter_copy(n: usize) {
+    COPIED_BYTES.with(|c| c.set(c.get() + n as u64));
+}
 
 /// Size of a small mbuf's inline data area.
 pub const MLEN: usize = 128;
@@ -109,6 +136,7 @@ impl Mbuf {
                 let start = self.off + self.len;
                 buf[start..start + n].copy_from_slice(&src[..n]);
                 self.len += n;
+                meter_copy(n);
             }
         }
         n
@@ -160,6 +188,7 @@ impl MbufChain {
             let mut buf = Vec::with_capacity(headroom + data.len());
             buf.resize(headroom, 0);
             buf.extend_from_slice(data);
+            meter_copy(data.len());
             let total = buf.len();
             chain.push_back(Mbuf::cluster(Rc::new(buf), headroom, total - headroom));
         } else {
@@ -464,6 +493,7 @@ impl MbufChain {
             }
             let take = (m.len - off).min(buf.len() - written);
             buf[written..written + take].copy_from_slice(&m.data()[off..off + take]);
+            meter_copy(take);
             written += take;
             off = 0;
             node = m.next.as_deref();
@@ -900,6 +930,29 @@ mod tests {
         assert!(db.append((), MbufChain::from_slice(&[0u8; 20])));
         assert!(!db.append((), MbufChain::from_slice(&[0u8; 10])));
         assert_eq!(db.records(), 1);
+    }
+
+    #[test]
+    fn copy_meter_counts_copyin_and_copyout() {
+        reset_copy_meter();
+        let data = vec![7u8; 1000];
+        let chain = MbufChain::from_slice(&data);
+        assert_eq!(copied_bytes(), 1000, "copyin is one physical copy");
+        let mut out = vec![0u8; 1000];
+        chain.copy_to_slice(0, &mut out);
+        assert_eq!(copied_bytes(), 2000, "copyout is a second physical copy");
+    }
+
+    #[test]
+    fn copy_meter_ignores_shared_references() {
+        reset_copy_meter();
+        let data = Rc::new(vec![9u8; 3000]);
+        let chain = MbufChain::from_shared(data);
+        assert_eq!(copied_bytes(), 0, "from_shared references, never copies");
+        let (copy, copied) = chain.copy_range(0, 3000);
+        assert_eq!(copied, 0);
+        assert_eq!(copy.len(), 3000);
+        assert_eq!(copied_bytes(), 0, "cluster m_copy shares, never copies");
     }
 
     #[test]

@@ -86,6 +86,16 @@ pub enum Placement {
 }
 
 impl Placement {
+    /// The protection domain this placement's code executes in, for
+    /// census attribution.
+    pub fn domain(self) -> psd_sim::Domain {
+        match self {
+            Placement::Kernel => psd_sim::Domain::Kernel,
+            Placement::Server => psd_sim::Domain::Server,
+            Placement::Library => psd_sim::Domain::Library,
+        }
+    }
+
     /// Charges `n` synchronization operations at this placement's unit
     /// price to `layer`. Call sites mirror where the BSD code takes
     /// `splnet`/`splx` or socket-buffer locks; the *count* is identical
@@ -97,11 +107,19 @@ impl Placement {
         layer: Layer,
         n: u64,
     ) {
+        use psd_sim::{Domain, OpKind};
         let unit = match self {
             Placement::Kernel => costs.spl_kernel,
             Placement::Server => costs.spl_server,
             Placement::Library => costs.lock_light,
         };
         charge.add_ns(layer, unit * n);
+        // The census separates the two disciplines: hardware (or
+        // emulated) priority levels vs. mutexes.
+        match self {
+            Placement::Kernel => charge.note_n(OpKind::SplRaise, Domain::Kernel, layer, n),
+            Placement::Server => charge.note_n(OpKind::SplRaise, Domain::Server, layer, n),
+            Placement::Library => charge.note_n(OpKind::LockAcquire, Domain::Library, layer, n),
+        }
     }
 }

@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 use std::rc::{Rc, Weak};
 
 use psd_mbuf::MbufChain;
-use psd_sim::{Charge, CostModel, Cpu, Layer, Sim, SimHandle, SimTime};
+use psd_sim::{Charge, CostModel, Cpu, Layer, OpKind, Sim, SimHandle, SimTime};
 use psd_wire::{
     ArpOp, ArpPacket, EtherAddr, EtherType, EthernetHeader, IcmpMessage, IpProto, Ipv4Header,
     TcpHeader, UdpHeader, ETHER_HDR_LEN,
@@ -534,6 +534,13 @@ impl NetStack {
         let (n, actions) = tcb.send(data, now)?;
         charge.add_ns(Layer::EntryCopyin, sosend + sync_unit);
         charge.add_per_byte(Layer::EntryCopyin, copy_rate, n);
+        if n > 0 {
+            charge.note(
+                OpKind::PacketBodyCopy,
+                self.placement.domain(),
+                Layer::EntryCopyin,
+            );
+        }
         charge.add_ns(
             Layer::EntryCopyin,
             self.costs.mbuf_alloc * (1 + n as u64 / psd_mbuf::MCLBYTES as u64),
@@ -583,6 +590,13 @@ impl NetStack {
         let now = charge.at();
         let (n, actions) = tcb.recv(buf, now);
         charge.add_per_byte(Layer::CopyoutExit, copy_rate, n);
+        if n > 0 {
+            charge.note(
+                OpKind::PacketBodyCopy,
+                self.placement.domain(),
+                Layer::CopyoutExit,
+            );
+        }
         self.run_tcp_actions(sim, charge, sock, actions);
         Ok(n)
     }
@@ -640,6 +654,11 @@ impl NetStack {
                     self.costs.sosend_base + self.costs.sosend_dgram_base,
                 );
                 charge.add_per_byte(Layer::EntryCopyin, self.costs.kcopy_byte, data.len());
+                charge.note(
+                    OpKind::PacketBodyCopy,
+                    self.placement.domain(),
+                    Layer::EntryCopyin,
+                );
                 charge.add_ns(Layer::EntryCopyin, self.costs.mbuf_alloc);
                 MbufChain::from_slice(data)
             }
@@ -667,7 +686,17 @@ impl NetStack {
             self.costs.checksum_byte,
             psd_wire::UDP_HDR_LEN + data.len(),
         );
+        charge.note(
+            OpKind::Checksum,
+            self.placement.domain(),
+            Layer::TcpUdpOutput,
+        );
         udp.checksum = udp.checksum_for(&ip, chain.iter_segments());
+        charge.note(
+            OpKind::HeaderCopy,
+            self.placement.domain(),
+            Layer::TcpUdpOutput,
+        );
         let mut payload = udp.encode().to_vec();
         payload.extend_from_slice(&chain.to_vec());
         self.stats.udp_out += 1;
@@ -742,6 +771,13 @@ impl NetStack {
         let (chain, copied) = tcb.rcv_buf.copy_range(0, n);
         // Cluster-backed data is shared; only small-mbuf slop copies.
         charge.add_per_byte(Layer::CopyoutExit, copy_byte, copied);
+        if copied > 0 {
+            charge.note(
+                OpKind::PacketBodyCopy,
+                self.placement.domain(),
+                Layer::CopyoutExit,
+            );
+        }
         tcb.rcv_buf.drop_front(n);
         let now = charge.at();
         let actions = tcb.after_user_read(now);
@@ -803,6 +839,13 @@ impl NetStack {
         let n = chain.len().min(buf.len());
         chain.copy_to_slice(0, &mut buf[..n]);
         charge.add_per_byte(Layer::CopyoutExit, copy_rate, n);
+        if n > 0 {
+            charge.note(
+                OpKind::PacketBodyCopy,
+                self.placement.domain(),
+                Layer::CopyoutExit,
+            );
+        }
         Ok((n, from))
     }
 
@@ -914,13 +957,28 @@ impl NetStack {
         for (_, h) in e.timers.drain() {
             sim.cancel(h);
         }
-        match &mut e.state {
+        let state = match &mut e.state {
             SockState::Tcp(tcb) => Some(SessionState::Tcp(tcb.export())),
             SockState::Udp(pcb) => Some(SessionState::Udp(pcb.export())),
             _ => {
                 // Unbound/listening sockets have no migratable state.
                 None
             }
+        };
+        if state.is_some() {
+            self.note_migration();
+        }
+        state
+    }
+
+    /// Counts a capsule export/import on this domain's census.
+    fn note_migration(&self) {
+        if let Some(c) = self.cpu.borrow().census() {
+            c.borrow_mut().note(
+                OpKind::SessionMigration,
+                self.placement.domain(),
+                Layer::Control,
+            );
         }
     }
 
@@ -929,6 +987,7 @@ impl NetStack {
     /// memory and are reallocated on demand). Re-arms the
     /// retransmission timer if data is outstanding.
     pub fn import_session(&mut self, sim: &mut Sim, state: SessionState) -> SockId {
+        self.note_migration();
         match state {
             SessionState::Tcp(snap) => {
                 let mut tcb = Tcb::import(snap);
@@ -958,6 +1017,7 @@ impl NetStack {
         payload: Vec<u8>,
     ) -> Result<(), SocketError> {
         charge.add_ns(Layer::IpOutput, self.costs.ip_output_base);
+        charge.note(OpKind::HeaderCopy, self.placement.domain(), Layer::IpOutput);
         let mtu = self.ifnet.as_ref().map_or(1500, |i| i.mtu());
         let mut hdr = Ipv4Header::new(self.ip_addr, dst, proto, payload.len());
         hdr.ident = self.ident.next();
@@ -1051,6 +1111,11 @@ impl NetStack {
             src: ifnet.mac(),
             ethertype: EtherType::Ipv4,
         };
+        charge.note(
+            OpKind::HeaderCopy,
+            self.placement.domain(),
+            Layer::EtherOutput,
+        );
         let mut frame = eth.encode().to_vec();
         frame.extend_from_slice(&ip_packet);
         ifnet.transmit(sim, charge, frame);
@@ -1157,6 +1222,11 @@ impl NetStack {
         }
         let data = &pkt[psd_wire::UDP_HDR_LEN..psd_wire::UDP_HDR_LEN + data_len];
         charge.add_per_byte(Layer::TcpUdpInput, self.costs.checksum_byte, pkt.len());
+        charge.note(
+            OpKind::Checksum,
+            self.placement.domain(),
+            Layer::TcpUdpInput,
+        );
         if !udp.verify(ip, pkt, std::iter::once(data)) {
             self.stats.checksum_errors += 1;
             return;
@@ -1215,6 +1285,11 @@ impl NetStack {
             return;
         };
         charge.add_per_byte(Layer::TcpUdpInput, self.costs.checksum_byte, pkt.len());
+        charge.note(
+            OpKind::Checksum,
+            self.placement.domain(),
+            Layer::TcpUdpInput,
+        );
         if !TcpHeader::verify(
             ip,
             &pkt[..hdr_len],
@@ -1434,7 +1509,17 @@ impl NetStack {
             self.costs.checksum_byte,
             hdr.header_len() + spec.data.len(),
         );
+        charge.note(
+            OpKind::Checksum,
+            self.placement.domain(),
+            Layer::TcpUdpOutput,
+        );
         let tcp_bytes = hdr.encode_with_checksum(&ip, spec.data.len(), spec.data.iter_segments());
+        charge.note(
+            OpKind::HeaderCopy,
+            self.placement.domain(),
+            Layer::TcpUdpOutput,
+        );
         let mut payload = tcp_bytes;
         payload.extend_from_slice(&spec.data.to_vec());
         let _ = self.ip_output(sim, charge, spec.remote.ip, IpProto::Tcp, payload);
@@ -1557,6 +1642,11 @@ impl NetStack {
                     Placement::Server => 7 * self.costs.spl_server,
                 };
             charge.add_ns(Layer::WakeupUserThread, cost);
+            charge.note(
+                OpKind::Wakeup,
+                self.placement.domain(),
+                Layer::WakeupUserThread,
+            );
         }
         let at = charge.at();
         sim.at(at, move |sim| {

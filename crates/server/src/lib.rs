@@ -188,6 +188,9 @@ pub struct ServerStats {
     pub strays_suppressed: u64,
     /// Datagrams forwarded to migrated sessions (reassembly case).
     pub udp_forwarded: u64,
+    /// Late datagrams reclaimed from a library stack after their
+    /// session migrated back to the server (fork/close races).
+    pub udp_reclaimed: u64,
 }
 
 /// The operating system server for one host.
@@ -1392,9 +1395,25 @@ impl OsServer {
             return false;
         };
         this.borrow_mut().stats.udp_forwarded += 1;
-        // Rebuild a minimal frame carrying the datagram and hand it to
-        // the application's sink via the kernel delivery machinery: we
-        // synthesize an Ethernet+IP+UDP packet addressed to the session.
+        // Deliver through the app's sink (an IPC forward): route the
+        // forward through the kernel's classify path by re-presenting
+        // the frame as if freshly received — the installed session
+        // filter claims it.
+        Self::represent_udp(this, sim, dst, src, data);
+        true
+    }
+
+    /// Rebuilds a minimal Ethernet+IP+UDP frame around `data` and
+    /// re-presents it to the kernel's classify path as if freshly
+    /// received, so whatever filters are installed *now* decide its
+    /// owner.
+    fn represent_udp(
+        this: &ServerHandle,
+        sim: &mut Sim,
+        dst: InetAddr,
+        src: InetAddr,
+        data: &[u8],
+    ) {
         let mut udp = psd_wire::UdpHeader::new(src.port, dst.port, data.len());
         let ip = psd_wire::Ipv4Header::new(src.ip, dst.ip, IpProto::Udp, 8 + data.len());
         let chain = psd_mbuf::MbufChain::from_slice(data);
@@ -1408,16 +1427,42 @@ impl OsServer {
         frame.extend_from_slice(&ip.encode());
         frame.extend_from_slice(&udp.encode());
         frame.extend_from_slice(data);
-        // Deliver through the app's sink (an IPC forward).
-        // The sink is owned by the kernel endpoint; route the forward
-        // through the kernel's classify path by re-presenting the frame
-        // as if freshly received — the installed session filter claims
-        // it.
         let kernel = this.borrow().kernel.clone();
         sim.at(sim.now(), move |sim| {
             use psd_netdev::Station;
             kernel.borrow_mut().frame_arrived(sim, frame);
         });
+    }
+
+    /// The inverse of the unclaimed-datagram forward: a datagram that
+    /// was classified to an application's endpoint *before* the
+    /// session migrated back (fork, close) lands in the library stack
+    /// after its socket is gone. The library hands it here; if the
+    /// session is now server-resident, the frame is re-presented so
+    /// the classify path — whose filter for this session has been torn
+    /// down — delivers it to the server's socket. Each in-flight
+    /// datagram is therefore drained exactly once.
+    pub fn reclaim_migrated_udp(
+        this: &ServerHandle,
+        sim: &mut Sim,
+        dst: InetAddr,
+        src: InetAddr,
+        data: &[u8],
+    ) -> bool {
+        let claimed = {
+            let s = this.borrow();
+            s.sessions.values().any(|sess| {
+                matches!(sess.home, Home::Server(_))
+                    && sess.proto == Proto::Udp
+                    && sess.local.map(|l| l.port) == Some(dst.port)
+                    && (sess.remote.is_none() || sess.remote == Some(src))
+            })
+        };
+        if !claimed {
+            return false;
+        }
+        this.borrow_mut().stats.udp_reclaimed += 1;
+        Self::represent_udp(this, sim, dst, src, data);
         true
     }
 

@@ -53,10 +53,16 @@ impl NetIf for UserNetIf {
     }
 
     fn transmit(&self, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>) {
-        use psd_sim::{Layer, SimTime};
-        charge.crossing(Layer::EtherOutput, SimTime::from_nanos(self.trap));
+        use psd_sim::{Domain, Layer, OpKind, SimTime};
+        charge.crossing_in(
+            Domain::Kernel,
+            Layer::EtherOutput,
+            SimTime::from_nanos(self.trap),
+        );
         charge.add_per_byte(Layer::EtherOutput, self.kcopy_byte, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         charge.add_per_byte(Layer::EtherOutput, self.dev_write_byte, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(&self.kernel, sim, charge.at(), frame, true);
     }
 }
@@ -89,8 +95,9 @@ impl NetIf for KernelNetIf {
     }
 
     fn transmit(&self, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>) {
-        use psd_sim::Layer;
+        use psd_sim::{Domain, Layer, OpKind};
         charge.add_per_byte(Layer::EtherOutput, self.dev_write_byte, frame.len());
+        charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(&self.kernel, sim, charge.at(), frame, false);
     }
 }

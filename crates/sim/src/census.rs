@@ -1,0 +1,357 @@
+//! Operation census: counting *what happens*, not how long it takes.
+//!
+//! The paper's argument is structural: the configurations differ in **how
+//! many** copies, boundary crossings, wakeups and lock operations each
+//! packet incurs, and the latency/throughput differences of Tables 2–4
+//! follow from those counts. A [`Census`] records exactly those counts —
+//! one monotonic counter per `(operation kind, layer, protection domain)`
+//! triple — so tests can assert the structural invariants directly
+//! (e.g. "a library send performs zero data-path boundary crossings",
+//! "SHM-IPF moves each packet body twice, the server path six times")
+//! independent of the cost model.
+//!
+//! Census counters never charge virtual time: attaching a census to a
+//! [`Cpu`](crate::cpu::Cpu) must not perturb any simulated timing, so the
+//! numeric output of the table harnesses is byte-identical with and
+//! without `--census`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::probe::Layer;
+
+/// The kinds of operations the census distinguishes.
+///
+/// Each corresponds to a class of work the paper counts when comparing
+/// in-kernel, server-based and decomposed (library) protocol stacks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OpKind {
+    /// A protection-boundary crossing: trap into the kernel, IPC send or
+    /// receive, or return to user space.
+    BoundaryCrossing,
+    /// A copy of a packet *body* (the payload bytes moved end to end).
+    PacketBodyCopy,
+    /// A copy or construction of protocol header bytes.
+    HeaderCopy,
+    /// A checksum pass over packet bytes.
+    Checksum,
+    /// A mutex/lock acquisition (thread-based synchronization, used by
+    /// the library and server stacks).
+    LockAcquire,
+    /// An interrupt-priority-level raise (spl-based synchronization,
+    /// used by the in-kernel stack and emulated by the server).
+    SplRaise,
+    /// A thread wakeup (scheduler activation of a blocked receiver).
+    Wakeup,
+    /// A device interrupt dispatched.
+    Interrupt,
+    /// One packet-filter program executed over a frame.
+    FilterRun,
+    /// One session migrated between protection domains (capsule export
+    /// or import).
+    SessionMigration,
+}
+
+impl OpKind {
+    /// Every kind, in census presentation order.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::BoundaryCrossing,
+        OpKind::PacketBodyCopy,
+        OpKind::HeaderCopy,
+        OpKind::Checksum,
+        OpKind::LockAcquire,
+        OpKind::SplRaise,
+        OpKind::Wakeup,
+        OpKind::Interrupt,
+        OpKind::FilterRun,
+        OpKind::SessionMigration,
+    ];
+
+    /// Short label used in census snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::BoundaryCrossing => "boundary_crossing",
+            OpKind::PacketBodyCopy => "packet_body_copy",
+            OpKind::HeaderCopy => "header_copy",
+            OpKind::Checksum => "checksum",
+            OpKind::LockAcquire => "lock_acquire",
+            OpKind::SplRaise => "spl_raise",
+            OpKind::Wakeup => "wakeup",
+            OpKind::Interrupt => "interrupt",
+            OpKind::FilterRun => "filter_run",
+            OpKind::SessionMigration => "session_migration",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::BoundaryCrossing => 0,
+            OpKind::PacketBodyCopy => 1,
+            OpKind::HeaderCopy => 2,
+            OpKind::Checksum => 3,
+            OpKind::LockAcquire => 4,
+            OpKind::SplRaise => 5,
+            OpKind::Wakeup => 6,
+            OpKind::Interrupt => 7,
+            OpKind::FilterRun => 8,
+            OpKind::SessionMigration => 9,
+        }
+    }
+
+    const COUNT: usize = 10;
+}
+
+/// The protection domain in which a counted operation executed.
+///
+/// Distinct from [`Placement`](../psd_netstack) (where a protocol *stack*
+/// lives): a library-placed stack still performs some operations inside
+/// the kernel (the packet-send trap, the receive-side demultiplex), and
+/// the census attributes each operation to where it actually ran.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Domain {
+    /// The operating-system kernel.
+    Kernel,
+    /// The user-space OS/network server.
+    Server,
+    /// The application's own address space (in-library protocol code or
+    /// the emulation library's stubs).
+    Library,
+}
+
+impl Domain {
+    /// Every domain, in census presentation order.
+    pub const ALL: [Domain; 3] = [Domain::Kernel, Domain::Server, Domain::Library];
+
+    /// Short label used in census snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Kernel => "kernel",
+            Domain::Server => "server",
+            Domain::Library => "library",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Domain::Kernel => 0,
+            Domain::Server => 1,
+            Domain::Library => 2,
+        }
+    }
+
+    const COUNT: usize = 3;
+}
+
+/// Monotonic operation counters keyed by `(kind, layer, domain)`, plus
+/// optional per-scope counters (e.g. filter runs per endpoint).
+#[derive(Debug)]
+pub struct Census {
+    enabled: bool,
+    counts: [[[u64; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT],
+    scoped: BTreeMap<(u8, u64), u64>,
+}
+
+/// Shared handle to a census, stored by every component that counts
+/// operations (mirrors [`ProbeHandle`](crate::probe::ProbeHandle)).
+pub type CensusHandle = Rc<RefCell<Census>>;
+
+impl Census {
+    /// Creates an enabled census with all counters at zero.
+    pub fn new() -> Census {
+        Census {
+            enabled: true,
+            counts: [[[0; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT],
+            scoped: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a shared handle to a fresh census.
+    pub fn shared() -> CensusHandle {
+        Rc::new(RefCell::new(Census::new()))
+    }
+
+    /// Enables or disables counting (e.g. to skip warm-up traffic).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if the census is counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Counts one occurrence of `op` in `domain` within `layer`.
+    pub fn note(&mut self, op: OpKind, domain: Domain, layer: Layer) {
+        self.note_n(op, domain, layer, 1);
+    }
+
+    /// Counts `n` occurrences of `op` in `domain` within `layer`.
+    pub fn note_n(&mut self, op: OpKind, domain: Domain, layer: Layer, n: u64) {
+        if self.enabled {
+            self.counts[op.index()][layer.index()][domain.index()] += n;
+        }
+    }
+
+    /// Counts `n` occurrences of `op` against an opaque scope id (e.g. an
+    /// endpoint id, for per-session filter-run attribution). Scoped counts
+    /// are additional to — not part of — the `(kind, layer, domain)`
+    /// counters.
+    pub fn note_scoped(&mut self, op: OpKind, scope: u64, n: u64) {
+        if self.enabled {
+            *self.scoped.entry((op.index() as u8, scope)).or_insert(0) += n;
+        }
+    }
+
+    /// The count for one `(kind, domain, layer)` cell.
+    pub fn count(&self, op: OpKind, domain: Domain, layer: Layer) -> u64 {
+        self.counts[op.index()][layer.index()][domain.index()]
+    }
+
+    /// Total count of `op` across all layers and domains.
+    pub fn total(&self, op: OpKind) -> u64 {
+        self.counts[op.index()]
+            .iter()
+            .map(|per_layer| per_layer.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Total count of `op` in one domain, across all layers.
+    pub fn domain_total(&self, op: OpKind, domain: Domain) -> u64 {
+        self.counts[op.index()]
+            .iter()
+            .map(|per_layer| per_layer[domain.index()])
+            .sum()
+    }
+
+    /// Total count of `op` in one layer, across all domains.
+    pub fn layer_total(&self, op: OpKind, layer: Layer) -> u64 {
+        self.counts[op.index()][layer.index()].iter().sum()
+    }
+
+    /// The scoped count for `(op, scope)`, zero if never noted.
+    pub fn scoped(&self, op: OpKind, scope: u64) -> u64 {
+        self.scoped
+            .get(&(op.index() as u8, scope))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.counts = [[[0; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT];
+        self.scoped.clear();
+    }
+
+    /// A deterministic text rendering of every nonzero counter, one per
+    /// line, in fixed `(kind, layer, domain)` order. Two censuses over
+    /// identical seeded runs produce byte-identical snapshots.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        for op in OpKind::ALL {
+            for layer in Layer::ALL {
+                for domain in Domain::ALL {
+                    let n = self.count(op, domain, layer);
+                    if n != 0 {
+                        let _ = writeln!(
+                            out,
+                            "{:<18} {:<20} {:<8} {}",
+                            op.label(),
+                            layer.label(),
+                            domain.label(),
+                            n
+                        );
+                    }
+                }
+            }
+        }
+        for (&(op_idx, scope), &n) in &self.scoped {
+            let op = OpKind::ALL[op_idx as usize];
+            let _ = writeln!(out, "{:<18} scope={:<14} {}", op.label(), scope, n);
+        }
+        out
+    }
+}
+
+impl Default for Census {
+    fn default() -> Census {
+        Census::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_accumulates_per_cell() {
+        let mut c = Census::new();
+        c.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
+        c.note_n(
+            OpKind::PacketBodyCopy,
+            Domain::Kernel,
+            Layer::KernelCopyout,
+            2,
+        );
+        c.note(OpKind::PacketBodyCopy, Domain::Library, Layer::CopyoutExit);
+        assert_eq!(
+            c.count(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout),
+            3
+        );
+        assert_eq!(c.total(OpKind::PacketBodyCopy), 4);
+        assert_eq!(c.domain_total(OpKind::PacketBodyCopy, Domain::Library), 1);
+        assert_eq!(c.layer_total(OpKind::PacketBodyCopy, Layer::CopyoutExit), 1);
+    }
+
+    #[test]
+    fn disabled_census_counts_nothing() {
+        let mut c = Census::new();
+        c.set_enabled(false);
+        c.note(OpKind::Wakeup, Domain::Kernel, Layer::WakeupUserThread);
+        c.note_scoped(OpKind::FilterRun, 7, 3);
+        assert_eq!(c.total(OpKind::Wakeup), 0);
+        assert_eq!(c.scoped(OpKind::FilterRun, 7), 0);
+    }
+
+    #[test]
+    fn scoped_counts_are_independent() {
+        let mut c = Census::new();
+        c.note_scoped(OpKind::FilterRun, 1, 2);
+        c.note_scoped(OpKind::FilterRun, 2, 5);
+        assert_eq!(c.scoped(OpKind::FilterRun, 1), 2);
+        assert_eq!(c.scoped(OpKind::FilterRun, 2), 5);
+        assert_eq!(c.scoped(OpKind::FilterRun, 3), 0);
+        // Scoped notes do not feed the (kind, layer, domain) grid.
+        assert_eq!(c.total(OpKind::FilterRun), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_nonzero_only() {
+        let build = || {
+            let mut c = Census::new();
+            c.note(OpKind::Checksum, Domain::Server, Layer::TcpUdpInput);
+            c.note_n(OpKind::BoundaryCrossing, Domain::Kernel, Layer::Control, 2);
+            c.note_scoped(OpKind::FilterRun, 42, 9);
+            c
+        };
+        let a = build().snapshot();
+        let b = build().snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.contains("checksum"));
+        assert!(a.contains("scope=42"));
+        assert!(!a.contains("wakeup"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Census::new();
+        c.note(OpKind::Interrupt, Domain::Kernel, Layer::DeviceIntrRead);
+        c.note_scoped(OpKind::FilterRun, 1, 1);
+        c.reset();
+        assert_eq!(c.total(OpKind::Interrupt), 0);
+        assert_eq!(c.scoped(OpKind::FilterRun, 1), 0);
+        assert!(c.snapshot().is_empty());
+    }
+}

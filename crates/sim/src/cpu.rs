@@ -13,6 +13,7 @@
 //! effect that separates the server-based configuration from the others
 //! in Table 2.
 
+use crate::census::{CensusHandle, Domain, OpKind};
 use crate::probe::{Layer, ProbeHandle};
 use crate::time::SimTime;
 
@@ -22,6 +23,7 @@ pub struct Cpu {
     busy_until: SimTime,
     total_busy: SimTime,
     probe: Option<ProbeHandle>,
+    census: Option<CensusHandle>,
 }
 
 impl Cpu {
@@ -41,6 +43,19 @@ impl Cpu {
         self.probe.as_ref()
     }
 
+    /// Attaches (or detaches) an operation census; counted operations on
+    /// every charge opened on this CPU report to it. Counting never
+    /// charges virtual time, so attaching a census does not perturb the
+    /// simulation.
+    pub fn set_census(&mut self, census: Option<CensusHandle>) {
+        self.census = census;
+    }
+
+    /// Returns the attached census, if any.
+    pub fn census(&self) -> Option<&CensusHandle> {
+        self.census.as_ref()
+    }
+
     /// The instant the CPU becomes free.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -58,6 +73,7 @@ impl Cpu {
             start: now.max(self.busy_until),
             cursor: now.max(self.busy_until),
             probe: self.probe.clone(),
+            census: self.census.clone(),
         }
     }
 
@@ -80,6 +96,7 @@ pub struct Charge {
     start: SimTime,
     cursor: SimTime,
     probe: Option<ProbeHandle>,
+    census: Option<CensusHandle>,
 }
 
 impl Charge {
@@ -90,6 +107,7 @@ impl Charge {
             start: now,
             cursor: now,
             probe,
+            census: None,
         }
     }
 
@@ -135,10 +153,47 @@ impl Charge {
         }
     }
 
+    /// Records a protection-boundary crossing in `layer`, charges its
+    /// cost, and counts it in the census under `domain` (the domain being
+    /// *entered*). Use in place of [`Charge::crossing`] at sites on the
+    /// operation census.
+    pub fn crossing_in(&mut self, domain: Domain, layer: Layer, cost: SimTime) {
+        self.crossing(layer, cost);
+        self.note(OpKind::BoundaryCrossing, domain, layer);
+    }
+
+    /// Counts one occurrence of `op` in the census (if one is attached).
+    /// Counting is free: the cursor does not advance.
+    pub fn note(&mut self, op: OpKind, domain: Domain, layer: Layer) {
+        if let Some(c) = &self.census {
+            c.borrow_mut().note(op, domain, layer);
+        }
+    }
+
+    /// Counts `n` occurrences of `op` in the census (if one is attached).
+    pub fn note_n(&mut self, op: OpKind, domain: Domain, layer: Layer, n: u64) {
+        if let Some(c) = &self.census {
+            c.borrow_mut().note_n(op, domain, layer, n);
+        }
+    }
+
+    /// Counts `n` occurrences of `op` against an opaque scope id (e.g. an
+    /// endpoint id) in the census (if one is attached).
+    pub fn note_scoped(&mut self, op: OpKind, scope: u64, n: u64) {
+        if let Some(c) = &self.census {
+            c.borrow_mut().note_scoped(op, scope, n);
+        }
+    }
+
     /// Returns the probe this cursor reports to, for handing to detached
     /// accounting (e.g. wire transit).
     pub fn probe_handle(&self) -> Option<ProbeHandle> {
         self.probe.clone()
+    }
+
+    /// Returns the census this cursor reports to.
+    pub fn census_handle(&self) -> Option<CensusHandle> {
+        self.census.clone()
     }
 }
 

@@ -22,6 +22,7 @@
 //!   regenerate Table 4.
 //! - [`Rng`]: a deterministic PRNG for loss/reorder schedules.
 
+pub mod census;
 pub mod cost;
 pub mod cpu;
 pub mod engine;
@@ -30,6 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use census::{Census, CensusHandle, Domain, OpKind};
 pub use cost::{CostModel, Platform};
 pub use cpu::{Charge, Cpu};
 pub use engine::{Sim, SimHandle};

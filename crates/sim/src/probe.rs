@@ -71,6 +71,26 @@ impl Layer {
         Layer::NetworkTransit,
     ];
 
+    /// Every layer, in index order (Table 4 rows first, then the
+    /// off-path bookkeeping categories).
+    pub const ALL: [Layer; 15] = [
+        Layer::EntryCopyin,
+        Layer::TcpUdpOutput,
+        Layer::IpOutput,
+        Layer::EtherOutput,
+        Layer::DeviceIntrRead,
+        Layer::NetisrPacketFilter,
+        Layer::KernelCopyout,
+        Layer::MbufQueue,
+        Layer::IpIntr,
+        Layer::TcpUdpInput,
+        Layer::WakeupUserThread,
+        Layer::CopyoutExit,
+        Layer::NetworkTransit,
+        Layer::Control,
+        Layer::Other,
+    ];
+
     /// Which path of Table 4 this layer belongs to.
     pub fn path(self) -> PathKind {
         match self {
@@ -111,7 +131,7 @@ impl Layer {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Layer::EntryCopyin => 0,
             Layer::TcpUdpOutput => 1,
@@ -131,7 +151,7 @@ impl Layer {
         }
     }
 
-    const COUNT: usize = 15;
+    pub(crate) const COUNT: usize = 15;
 }
 
 impl fmt::Display for Layer {

@@ -249,6 +249,21 @@ impl TestBed {
         }
     }
 
+    /// Attaches a fresh operation census to every host CPU, returning
+    /// one handle per host (in `hosts` order). Counting never charges
+    /// virtual time, so attaching a census leaves every timing result
+    /// bit-identical.
+    pub fn attach_census(&mut self) -> Vec<psd_sim::CensusHandle> {
+        self.hosts
+            .iter()
+            .map(|h| {
+                let census = psd_sim::Census::shared();
+                h.cpu.borrow_mut().set_census(Some(census.clone()));
+                census
+            })
+            .collect()
+    }
+
     /// Runs the simulation until idle.
     pub fn settle(&mut self) {
         self.sim.run_to_idle();

@@ -198,6 +198,127 @@ fn udp_session_migrates_with_queued_datagrams() {
 }
 
 #[test]
+fn datagrams_in_flight_across_fork_retarget_arrive_exactly_once() {
+    // fork(2) returns every migrated session to the operating system,
+    // retargeting its packet filter from the application's endpoint
+    // back to the server — with datagrams still on the wire. Each
+    // numbered datagram must surface exactly once: the capsule carries
+    // what the library had queued, the retargeted filter catches the
+    // rest, and nothing is delivered twice.
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 59);
+    let recv_app = bed.hosts[1].spawn_app();
+    let rfd = AppLib::socket(&recv_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&recv_app, &mut bed.sim, rfd, 5000).unwrap();
+    let send_app = bed.hosts[0].spawn_app();
+    let sfd = AppLib::socket(&send_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&send_app, &mut bed.sim, sfd, 5001).unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 5000);
+    // Warm up ARP (the first library datagram drops on a miss).
+    let mut warmed = false;
+    for _ in 0..20 {
+        AppLib::sendto(&send_app, &mut bed.sim, sfd, b"warmup", Some(dst)).unwrap();
+        bed.run_for(SimTime::from_millis(200));
+        let mut buf = [0u8; 64];
+        if AppLib::recvfrom(&recv_app, &mut bed.sim, rfd, &mut buf).is_ok() {
+            warmed = true;
+            break;
+        }
+    }
+    assert!(warmed, "warm-up datagram never arrived");
+    bed.settle();
+
+    // First half: delivered into the library-resident session, left
+    // queued (no drain handler), with the last few still in flight
+    // when fork runs.
+    let n = 12u8;
+    for i in 0..n / 2 {
+        AppLib::sendto(&send_app, &mut bed.sim, sfd, &[i], Some(dst)).unwrap();
+    }
+    bed.run_for(SimTime::from_millis(1)); // some frames still on the wire
+    let child = AppLib::fork(&recv_app, &mut bed.sim).expect("fork");
+    assert!(
+        recv_app.borrow().stats.migrations_out >= 1,
+        "fork must have returned the bound session to the server"
+    );
+    // Second half: lands after the filter points back at the server.
+    for i in n / 2..n {
+        AppLib::sendto(&send_app, &mut bed.sim, sfd, &[i], Some(dst)).unwrap();
+    }
+    bed.settle();
+
+    // Drain through the now server-resident session.
+    let mut seen = vec![0u32; n as usize];
+    let mut buf = [0u8; 64];
+    while let Ok((len, from)) = AppLib::recvfrom(&recv_app, &mut bed.sim, rfd, &mut buf) {
+        assert_eq!(from, InetAddr::new(bed.hosts[0].ip, 5001));
+        assert_eq!(len, 1);
+        seen[buf[0] as usize] += 1;
+    }
+    assert_eq!(
+        seen,
+        vec![1u32; n as usize],
+        "every datagram exactly once across the retarget"
+    );
+    // The shared descriptor reaches the same (now empty) session from
+    // the child too.
+    assert!(AppLib::recvfrom(&child, &mut bed.sim, rfd, &mut buf).is_err());
+}
+
+#[test]
+fn death_mid_migration_returns_resources_to_the_server() {
+    // A process that dies while it holds migrated sessions — including
+    // one whose TCP handshake is still in flight — must leave the
+    // operating system consistent: sessions reclaimed, ports free,
+    // fresh processes able to reuse them immediately.
+    let mut bed = TestBed::new(
+        SystemConfig::LibraryShmIpf,
+        Platform::DecStation5000_200,
+        61,
+    );
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+
+    let doomed = bed.hosts[0].spawn_app();
+    // A migrated UDP session holding a well-known port…
+    let ufd = AppLib::socket(&doomed, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&doomed, &mut bed.sim, ufd, 6000).unwrap();
+    assert!(os.borrow().ports().in_use(Proto::Udp, 6000));
+    // …and a TCP connect abandoned mid-handshake: die before the SYN
+    // round trip completes, so the session is still migrating.
+    let tfd = AppLib::socket(&doomed, &mut bed.sim, Proto::Tcp);
+    AppLib::connect(&doomed, &mut bed.sim, tfd, dst).unwrap();
+    let sessions_before = os.borrow().session_count();
+    assert!(sessions_before >= 2);
+    AppLib::die(&doomed, &mut bed.sim);
+    bed.settle();
+
+    assert!(os.borrow().stats.crash_cleanups >= 1);
+    assert!(
+        os.borrow().session_count() < sessions_before,
+        "dead process's sessions must be reclaimed"
+    );
+    assert!(
+        !os.borrow().ports().in_use(Proto::Udp, 6000),
+        "dead process's port must be released"
+    );
+
+    // The host is fully usable: rebind the same port, connect the same
+    // destination.
+    let fresh = bed.hosts[0].spawn_app();
+    let ufd2 = AppLib::socket(&fresh, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&fresh, &mut bed.sim, ufd2, 6000).expect("rebind after crash");
+    let client = tcp_client(&mut bed, &fresh, dst);
+    assert!(
+        run_until(&mut bed, SimTime::from_secs(30), || {
+            *client.connected.borrow()
+        }),
+        "fresh connection after mid-handshake crash must establish"
+    );
+}
+
+#[test]
 fn tcp_close_holds_port_through_time_wait() {
     // "properly closing a TCP connection requires a four-way handshake
     // … followed by a waiting period" — the server runs that protocol

@@ -212,6 +212,18 @@ fn all_ten_data_call_spellings_work() {
     AppLib::connect(&app, &mut bed.sim, fd, InetAddr::new(bed.hosts[1].ip, 53)).unwrap();
     bed.settle();
 
+    // One priming exchange fills the library's ARP cache (the first
+    // send costs a one-time metastate resolver RPC, §3.3) so the ten
+    // spellings below run in steady state.
+    AppLib::send(&app, &mut bed.sim, fd, b"prime").unwrap();
+    bed.settle();
+    let mut prime = [0u8; 16];
+    assert_eq!(AppLib::recv(&app, &mut bed.sim, fd, &mut prime), Ok(5));
+
+    // Count everything from here on: the ten data-call spellings must
+    // execute without a single RPC-layer boundary crossing.
+    let censuses = bed.attach_census();
+
     // send / write / sendto / sendmsg / writev.
     AppLib::send(&app, &mut bed.sim, fd, b"one ").unwrap();
     bed.settle();
@@ -249,4 +261,31 @@ fn all_ten_data_call_spellings_work() {
     // None of the data calls contacted the server (library mode): the
     // only RPCs were socket/bind/connect(+1 ARP prewarm at most).
     assert!(app.borrow().stats.data_rpcs == 0);
+    // The census agrees: on the client host no boundary was crossed at
+    // any RPC layer while the ten spellings ran — entry/copyin and
+    // copyout/exit crossings belong to the server-based architecture,
+    // control crossings to proxy RPCs, and none occurred.
+    {
+        use psd::sim::{Domain, Layer, OpKind};
+        let c0 = censuses[0].borrow();
+        for layer in [Layer::EntryCopyin, Layer::CopyoutExit, Layer::Control] {
+            assert_eq!(
+                c0.layer_total(OpKind::BoundaryCrossing, layer),
+                0,
+                "no crossings at {layer:?} during library data calls"
+            );
+        }
+        assert_eq!(
+            c0.domain_total(OpKind::BoundaryCrossing, Domain::Server),
+            0,
+            "the operating system server never entered the data path"
+        );
+        // The only crossings the five sends need: one packet-send trap
+        // each into the kernel at the ethernet layer.
+        assert_eq!(
+            c0.count(OpKind::BoundaryCrossing, Domain::Kernel, Layer::EtherOutput),
+            5,
+            "one send trap per send-side spelling"
+        );
+    }
 }
