@@ -8,7 +8,10 @@
 //! latency rounds instead of 200. `--census` appends an operation
 //! census (crossings, copies, locks, wakeups per host) for each
 //! configuration's ttcp run; counting never charges virtual time, so
-//! every numeric result is identical with or without it.
+//! every numeric result is identical with or without it. `--faults`
+//! attaches an (empty) fault plane to every run — no site is scripted
+//! or armed, so the plane only counts visits and the output must be
+//! byte-identical to a run without it (CI asserts this).
 
 use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
 use psd_bench::{protolat, ttcp, ApiStyle};
@@ -20,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let want_census = args.iter().any(|a| a == "--census");
+    let want_faults = args.iter().any(|a| a == "--faults");
     let (bytes, rounds) = if quick {
         (2 << 20, 50)
     } else {
@@ -45,6 +49,9 @@ fn main() {
             // Throughput.
             let mut bed = TestBed::new(config, platform, 42);
             let censuses = want_census.then(|| bed.attach_census());
+            if want_faults {
+                let _plane = bed.attach_fault_plane();
+            }
             let t = ttcp(&mut bed, bytes, ApiStyle::Classic);
             println!("{}", config.label());
             println!(
@@ -60,6 +67,9 @@ fn main() {
                     continue;
                 }
                 let mut bed = TestBed::new(config, platform, 43 + i as u64);
+                if want_faults {
+                    let _plane = bed.attach_fault_plane();
+                }
                 let lat = protolat(&mut bed, Proto::Tcp, size, 20, rounds, ApiStyle::Classic);
                 print!(
                     "  {:5.2}({:5.2})",
@@ -76,6 +86,9 @@ fn main() {
                     continue;
                 }
                 let mut bed = TestBed::new(config, platform, 53 + i as u64);
+                if want_faults {
+                    let _plane = bed.attach_fault_plane();
+                }
                 let lat = protolat(&mut bed, Proto::Udp, size, 20, rounds, ApiStyle::Classic);
                 print!(
                     "  {:5.2}({:5.2})",
@@ -99,6 +112,9 @@ fn main() {
         let configs = table2_for(platform);
         let tput = |c: psd_systems::SystemConfig| {
             let mut bed = TestBed::new(c, platform, 42);
+            if want_faults {
+                let _plane = bed.attach_fault_plane();
+            }
             ttcp(&mut bed, bytes, ApiStyle::Classic).kb_per_sec
         };
         use psd_systems::SystemConfig::*;

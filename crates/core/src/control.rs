@@ -11,13 +11,67 @@
 use crate::{select, ApiMode, AppHandle, AppLib, Fd, FdEntry, FdState, SockEvent};
 use psd_netstack::{InetAddr, SocketError};
 use psd_server::{
-    stack_sink_with_busy_report, MigratedSession, OsServer, Proto, RxSetup, SessionId, SessionReply,
+    stack_sink_with_busy_report, MigratedSession, OsServer, Proto, RetryToken, RxSetup, SessionId,
+    SessionReply,
 };
-use psd_sim::{Domain, Layer, Sim, SimTime};
+use psd_sim::{Charge, Domain, FaultSite, Layer, Sim, SimTime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+/// Retry budget for deadline-bounded proxy RPCs: the initial deadline
+/// is `4 * rpc_base` nanoseconds and doubles on every retry (bounded
+/// exponential backoff), so the worst case charges `4+8+16+32 = 60`
+/// RPC base times before the call fails with
+/// [`SocketError::TimedOut`].
+const RPC_MAX_ATTEMPTS: u32 = 4;
+
 impl AppLib {
+    /// Mints a fresh idempotency token for one logical retryable RPC;
+    /// every attempt of that RPC carries the same token.
+    fn mint_token(this: &AppHandle) -> RetryToken {
+        let mut app = this.borrow_mut();
+        let proc = app.proc.map(|p| p.0).unwrap_or(0);
+        let c = app.next_token;
+        app.next_token += 1;
+        RetryToken((proc << 32) | c)
+    }
+
+    /// Runs one retryable proxy RPC under a deadline: an attempt may be
+    /// lost to a server crash ([`FaultSite::ServerCrash`]), to the
+    /// server being down (the request is never answered), or to a lost
+    /// reply ([`FaultSite::ProxyRpc`]). Each loss charges the expired
+    /// deadline plus exponential backoff and retries with the same
+    /// idempotency token; after [`RPC_MAX_ATTEMPTS`] losses the call
+    /// fails with [`SocketError::TimedOut`]. With no fault plane
+    /// attached the first attempt always returns, so this wrapper adds
+    /// zero charged time to the fault-free path.
+    fn retry_rpc<T>(
+        this: &AppHandle,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        mut call: impl FnMut(&mut Sim, &mut Charge) -> Result<T, SocketError>,
+    ) -> Result<T, SocketError> {
+        let server = this.borrow().server.clone().expect("server");
+        let deadline_ns = this.borrow().costs.rpc_base.max(1) * 4;
+        for attempt in 0..RPC_MAX_ATTEMPTS {
+            if charge.fault(FaultSite::ServerCrash) {
+                // The server dies mid-request; the attempt is lost.
+                OsServer::crash(&server, sim);
+            } else if !server.borrow().is_down() {
+                let result = call(sim, charge);
+                if !charge.fault(FaultSite::ProxyRpc) {
+                    return result;
+                }
+                // The reply was lost after the server executed the
+                // call — the case the idempotency tokens exist for.
+            }
+            // Deadline expiry plus bounded exponential backoff.
+            charge.add_ns(Layer::Control, deadline_ns << attempt);
+            this.borrow_mut().stats.rpc_retries += 1;
+        }
+        this.borrow_mut().stats.rpc_timeouts += 1;
+        Err(SocketError::TimedOut)
+    }
     /// `socket(2)`: creates a descriptor backed by a session managed by
     /// the operating system (or an in-kernel socket in the monolithic
     /// baseline).
@@ -47,11 +101,21 @@ impl AppLib {
             ApiMode::ServerBased | ApiMode::Library { .. } => {
                 let server = this.borrow().server.clone().expect("server");
                 let proc = this.borrow().proc.expect("registered process");
+                let token = AppLib::mint_token(this);
                 let mut charge = this.borrow().begin(sim);
-                let sid = server.borrow_mut().proxy_socket(&mut charge, proc, proto);
+                let sid = AppLib::retry_rpc(this, sim, &mut charge, |_, ch| {
+                    Ok(server.borrow_mut().proxy_socket(ch, proc, proto, token))
+                });
                 this.borrow().finish(charge);
                 this.borrow_mut().stats.control_rpcs += 1;
-                this.borrow_mut().alloc_fd(proto, FdState::Fresh(Some(sid)))
+                // A timed-out socket() yields a dead descriptor, the
+                // closest analogue of an errno return given the Fd
+                // signature; every later call on it fails.
+                let state = match sid {
+                    Ok(sid) => FdState::Fresh(Some(sid)),
+                    Err(_) => FdState::Fresh(None),
+                };
+                this.borrow_mut().alloc_fd(proto, state)
             }
         }
     }
@@ -191,11 +255,17 @@ impl AppLib {
             ApiMode::ServerBased => {
                 let server = this.borrow().server.clone().expect("server");
                 let sid = this.borrow().session_of(fd).ok_or(SocketError::BadSocket)?;
+                let token = AppLib::mint_token(this);
                 let mut charge = this.borrow().begin(sim);
                 this.borrow_mut().stats.control_rpcs += 1;
-                let reply = OsServer::proxy_bind(&server, sim, &mut charge, sid, port, None)?;
+                let reply = AppLib::retry_rpc(this, sim, &mut charge, |sim, ch| {
+                    OsServer::proxy_bind(&server, sim, ch, sid, port, None, token)
+                })?;
                 this.borrow().finish(charge);
-                debug_assert!(reply.is_none());
+                debug_assert!(matches!(
+                    reply,
+                    None | Some(SessionReply::ServerResident { .. })
+                ));
                 if let Some(entry) = this.borrow_mut().fds.get_mut(&fd) {
                     entry.state = FdState::Session(sid);
                 }
@@ -207,18 +277,31 @@ impl AppLib {
                 let sid = this.borrow().session_of(fd).ok_or(SocketError::BadSocket)?;
                 let proto = this.borrow().fds.get(&fd).expect("exists").proto;
                 let ep_cell = Rc::new(Cell::new(None));
-                let rx = match proto {
-                    Proto::Udp => Some(AppLib::rx_setup(this, &ep_cell)),
-                    Proto::Tcp => None,
-                };
+                let token = AppLib::mint_token(this);
                 let mut charge = this.borrow().begin(sim);
                 this.borrow_mut().stats.control_rpcs += 1;
-                let reply = OsServer::proxy_bind(&server, sim, &mut charge, sid, port, rx)?;
+                let reply = AppLib::retry_rpc(this, sim, &mut charge, |sim, ch| {
+                    let rx = match proto {
+                        Proto::Udp => Some(AppLib::rx_setup(this, &ep_cell)),
+                        Proto::Tcp => None,
+                    };
+                    OsServer::proxy_bind(&server, sim, ch, sid, port, rx, token)
+                })?;
                 this.borrow().finish(charge);
                 match reply {
-                    Some(m) => {
+                    Some(SessionReply::Migrated(m)) => {
                         // The UDP session migrated immediately.
                         AppLib::adopt_migrated(this, sim, fd, m, ep_cell);
+                    }
+                    Some(SessionReply::ServerResident { session, .. }) => {
+                        // Graceful degradation: the migration was
+                        // denied (filter table full, SHM ring install
+                        // failure) and the session fell back to the
+                        // server data path — slower, but correct.
+                        if let Some(entry) = this.borrow_mut().fds.get_mut(&fd) {
+                            entry.state = FdState::Session(session);
+                        }
+                        AppLib::attach_server_notify(this, fd, session);
                     }
                     None => {
                         // TCP: only the port was claimed.
@@ -417,7 +500,9 @@ impl AppLib {
                 let sid = this.borrow().session_of(fd).ok_or(SocketError::BadSocket)?;
                 let mut charge = this.borrow().begin(sim);
                 this.borrow_mut().stats.control_rpcs += 1;
-                let res = OsServer::proxy_listen(&server, sim, &mut charge, sid, backlog);
+                let res = AppLib::retry_rpc(this, sim, &mut charge, |sim, ch| {
+                    OsServer::proxy_listen(&server, sim, ch, sid, backlog)
+                });
                 this.borrow().finish(charge);
                 if res.is_ok() {
                     if let Some(entry) = this.borrow_mut().fds.get_mut(&fd) {
@@ -738,6 +823,70 @@ impl AppLib {
         if let (Some(server), Some(proc)) = (server, proc) {
             OsServer::process_died(&server, sim, proc);
         }
+    }
+
+    /// Recovers from a server crash/restart: the application (which
+    /// noticed the crash as RPC deadline expiry) registers itself as a
+    /// fresh process, re-adopts its migrated sessions — whose data
+    /// path kept working throughout, since it never touches the
+    /// server — and drops descriptors whose server-resident sessions
+    /// died with the server. Returns `false` (and does nothing) while
+    /// the server is still down; the caller retries with backoff.
+    pub fn reregister(this: &AppHandle, sim: &mut Sim) -> bool {
+        let _ = sim;
+        let Some(server) = this.borrow().server.clone() else {
+            return true; // In-kernel mode has no server to lose.
+        };
+        if server.borrow().is_down() {
+            return false;
+        }
+        let proc = server.borrow_mut().register_process();
+        this.borrow_mut().proc = Some(proc);
+        // Migrated sessions survive the crash: re-attach ownership to
+        // the new process id rebuilt from the stub records.
+        let mut locals: Vec<SessionId> = this
+            .borrow()
+            .fds
+            .values()
+            .filter_map(|e| match &e.state {
+                FdState::Local {
+                    session: Some(s), ..
+                } => Some(*s),
+                _ => None,
+            })
+            .collect();
+        locals.sort(); // map order is not deterministic across runs
+        {
+            let mut srv = server.borrow_mut();
+            for sid in &locals {
+                srv.adopt_session(*sid, proc);
+            }
+        }
+        // Server-resident sessions died with the server's in-memory
+        // DB; their descriptors are now dead.
+        let mut dead: Vec<(Fd, SessionId)> = this
+            .borrow()
+            .fds
+            .iter()
+            .filter_map(|(fd, e)| {
+                let sid = match &e.state {
+                    FdState::Session(s) | FdState::Fresh(Some(s)) => *s,
+                    _ => return None,
+                };
+                (!server.borrow().has_session(sid)).then_some((*fd, sid))
+            })
+            .collect();
+        dead.sort();
+        for (fd, sid) in dead {
+            let mut app = this.borrow_mut();
+            app.fds.remove(&fd);
+            app.handlers.remove(&fd);
+            app.accept_ready.remove(&fd);
+            app.accept_pending.remove(&fd);
+            app.watched.remove(&fd);
+            app.session_to_fd.remove(&sid);
+        }
+        true
     }
 }
 

@@ -111,6 +111,11 @@ pub struct AppStats {
     pub status_reports: u64,
     /// ARP cache invalidations received from the server.
     pub arp_invalidations: u64,
+    /// Proxy RPC attempts retried after a deadline expired (lost
+    /// request, lost reply, or crashed server).
+    pub rpc_retries: u64,
+    /// Proxy RPCs abandoned after the retry budget was exhausted.
+    pub rpc_timeouts: u64,
 }
 
 /// The application library.
@@ -142,6 +147,9 @@ pub struct AppLib {
     /// changes are reported to the server).
     pub(crate) watched: HashSet<Fd>,
     pub(crate) local_selects: Vec<select::LocalWaiter>,
+    /// Monotonic counter feeding [`psd_server::RetryToken`]s, so every
+    /// retryable RPC from this application is uniquely identified.
+    pub(crate) next_token: u64,
     /// Counters.
     pub stats: AppStats,
 }
@@ -179,6 +187,7 @@ impl AppLib {
             accept_pending: HashSet::new(),
             watched: HashSet::new(),
             local_selects: Vec::new(),
+            next_token: 1,
             stats: AppStats::default(),
         }));
         app.borrow_mut().me = Rc::downgrade(&app);
@@ -259,6 +268,7 @@ impl AppLib {
             accept_pending: HashSet::new(),
             watched: HashSet::new(),
             local_selects: Vec::new(),
+            next_token: 1,
             stats: AppStats::default(),
         }));
         app.borrow_mut().me = Rc::downgrade(&app);
@@ -296,6 +306,7 @@ impl AppLib {
             accept_pending: HashSet::new(),
             watched: HashSet::new(),
             local_selects: Vec::new(),
+            next_token: 1,
             stats: AppStats::default(),
         }));
         app.borrow_mut().me = Rc::downgrade(&app);

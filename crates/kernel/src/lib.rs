@@ -33,8 +33,33 @@ use std::rc::Rc;
 
 use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
 use psd_netdev::{Ethernet, EthernetHandle, Station};
-use psd_sim::{Charge, CostModel, Cpu, Domain, Layer, OpKind, Sim, SimTime};
+use psd_sim::{Charge, CostModel, Cpu, Domain, FaultSite, Layer, OpKind, Sim, SimTime};
 use psd_wire::EtherAddr;
+
+/// A recoverable kernel-interface failure. Fault paths report these
+/// instead of panicking so injected faults surface as errors the
+/// operating system can degrade around.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelError {
+    /// The kernel is not attached to an Ethernet segment.
+    NotConnected,
+    /// The named endpoint does not exist (it may have been destroyed
+    /// while the operation was in flight).
+    UnknownEndpoint,
+    /// The packet-filter table is full; no further session filters can
+    /// be installed until one is removed.
+    FilterTableFull,
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NotConnected => write!(f, "kernel not connected to a segment"),
+            KernelError::UnknownEndpoint => write!(f, "unknown endpoint"),
+            KernelError::FilterTableFull => write!(f, "packet-filter table full"),
+        }
+    }
+}
 
 /// How packets reach an endpoint's address space.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,6 +136,11 @@ pub struct KernelStats {
     pub wakeups_amortized: u64,
     /// User transmissions rejected by the outbound packet limiter.
     pub tx_rejected: u64,
+    /// Frames dropped because the kernel was not attached to a segment
+    /// when the transmit event ran.
+    pub tx_disconnected: u64,
+    /// Frames dropped by an injected receive fault ([`FaultSite::NicRx`]).
+    pub rx_faulted: u64,
 }
 
 /// The simulated kernel for one host.
@@ -128,6 +158,10 @@ pub struct Kernel {
     /// mechanism, if desired, could be implemented by checking each
     /// outgoing packet using a service similar to the packet filter."
     tx_limiter: Option<psd_filter::Program>,
+    /// Maximum number of installed session filters; `None` means
+    /// unbounded (the seed behavior). A real filter table is a fixed
+    /// kernel resource, and exhausting it must degrade, not abort.
+    filter_capacity: Option<usize>,
     stats: KernelStats,
 }
 
@@ -148,6 +182,7 @@ impl Kernel {
             default_endpoint: None,
             next_endpoint: 1,
             tx_limiter: None,
+            filter_capacity: None,
             stats: KernelStats::default(),
         }));
         handle.borrow_mut().me = Rc::downgrade(&handle);
@@ -247,16 +282,47 @@ impl Kernel {
         self.default_endpoint = Some(id);
     }
 
+    /// Caps the number of installed session filters (`None` lifts the
+    /// cap). Installations beyond the cap fail with
+    /// [`KernelError::FilterTableFull`].
+    pub fn set_filter_capacity(&mut self, capacity: Option<usize>) {
+        self.filter_capacity = capacity;
+    }
+
+    /// The filter-table capacity in force, if any.
+    pub fn filter_capacity(&self) -> Option<usize> {
+        self.filter_capacity
+    }
+
+    /// Number of session filters currently installed.
+    pub fn filters_installed(&self) -> usize {
+        self.demux.len()
+    }
+
     /// Installs a session packet filter routing `spec` to `endpoint`.
     /// Only the operating system may call this (§3.1: the OS creates
     /// and installs a new packet filter for each network session).
-    pub fn install_filter(&mut self, spec: EndpointSpec, endpoint: EndpointId) -> FilterId {
-        assert!(self.endpoints.contains_key(&endpoint), "unknown endpoint");
+    /// Fails — recoverably — if the endpoint is gone or the filter
+    /// table is full; the caller is expected to degrade to the server
+    /// path rather than abort.
+    pub fn install_filter(
+        &mut self,
+        spec: EndpointSpec,
+        endpoint: EndpointId,
+    ) -> Result<FilterId, KernelError> {
+        if !self.endpoints.contains_key(&endpoint) {
+            return Err(KernelError::UnknownEndpoint);
+        }
+        if let Some(cap) = self.filter_capacity {
+            if self.demux.len() >= cap {
+                return Err(KernelError::FilterTableFull);
+            }
+        }
         let fid = self.demux.install(spec, endpoint);
         if let Some(ep) = self.endpoints.get_mut(&endpoint) {
             ep.filter = Some(fid);
         }
-        fid
+        Ok(fid)
     }
 
     /// Removes a session filter.
@@ -275,7 +341,9 @@ impl Kernel {
     pub fn retarget_filter(&mut self, id: FilterId, endpoint: EndpointId) -> Option<FilterId> {
         let spec = self.demux.spec(id)?;
         self.demux.remove(id);
-        Some(self.install_filter(spec, endpoint))
+        // The removal above freed a table slot, so installation can only
+        // fail if the target endpoint is gone.
+        self.install_filter(spec, endpoint).ok()
     }
 
     // --- Transmit paths ---
@@ -354,12 +422,19 @@ impl Kernel {
         sim.at(ready, move |sim| {
             let ether = {
                 let mut k = kernel.borrow_mut();
+                let Some(ether) = k.ether.clone() else {
+                    // Detached from the segment (e.g. a fault between
+                    // charge and handoff): the frame is dropped like any
+                    // other wire loss, and the protocols recover.
+                    k.stats.tx_disconnected += 1;
+                    return;
+                };
                 if from_user {
                     k.stats.tx_user += 1;
                 } else {
                     k.stats.tx_kernel += 1;
                 }
-                k.ether.clone().expect("kernel not connected to a segment")
+                ether
             };
             Ethernet::transmit(&ether, sim, sim.now(), frame);
         });
@@ -381,38 +456,47 @@ impl Station for Kernel {
             charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_penalty);
         }
 
+        // Injected receive fault: the frame is lost at the interface,
+        // after wire delivery but before demultiplexing. Protocols see
+        // it as ordinary loss and recover by retransmission.
+        if charge.fault(FaultSite::NicRx) {
+            self.stats.rx_faulted += 1;
+            let cpu = self.cpu.clone();
+            cpu.borrow_mut().finish(charge);
+            return;
+        }
+
         // Classify. The in-kernel endpoint short-circuits the filter:
         // the monolithic kernel demuxes with a pcb lookup after copying
         // the packet out of the device.
         let default = self.default_endpoint;
-        let default_is_inkernel = default
+        let inkernel_sink = default
             .and_then(|id| self.endpoints.get(&id))
-            .map(|ep| ep.mode == RxMode::InKernel)
-            .unwrap_or(false);
+            .and_then(|ep| match (&ep.sink, ep.mode) {
+                (Sink::InKernel(sink), RxMode::InKernel) => Some(sink.clone()),
+                _ => None,
+            });
 
-        if default_is_inkernel && self.demux.is_empty() {
-            let id = default.expect("checked above");
-            // Copy device → wired kernel buffer at interrupt level.
-            charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
-            charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
-            charge.note(
-                OpKind::PacketBodyCopy,
-                Domain::Kernel,
-                Layer::DeviceIntrRead,
-            );
-            // netisr dispatch + in-kernel demux.
-            charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
-            charge.add_ns(Layer::NetisrPacketFilter, self.costs.pcb_lookup);
-            self.stats.rx_default += 1;
-            let ep = self.endpoints.get(&id).expect("endpoint exists");
-            if let Sink::InKernel(sink) = &ep.sink {
-                let sink = sink.clone();
+        if self.demux.is_empty() {
+            if let Some(sink) = inkernel_sink {
+                // Copy device → wired kernel buffer at interrupt level.
+                charge.add_ns(Layer::DeviceIntrRead, self.costs.rx_kbuf_setup);
+                charge.add_per_byte(Layer::DeviceIntrRead, self.costs.dev_read_byte, frame.len());
+                charge.note(
+                    OpKind::PacketBodyCopy,
+                    Domain::Kernel,
+                    Layer::DeviceIntrRead,
+                );
+                // netisr dispatch + in-kernel demux.
+                charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
+                charge.add_ns(Layer::NetisrPacketFilter, self.costs.pcb_lookup);
+                self.stats.rx_default += 1;
                 // Synchronous input at interrupt level, same charge.
                 sink.borrow_mut()(sim, &mut charge, frame);
+                let cpu = self.cpu.clone();
+                cpu.borrow_mut().finish(charge);
+                return;
             }
-            let cpu = self.cpu.clone();
-            cpu.borrow_mut().finish(charge);
-            return;
         }
 
         // Filtered paths. Does any installed session filter use the
@@ -575,10 +659,9 @@ impl Station for Kernel {
                                     c.add_ns(Layer::KernelCopyout, sched_wakeup);
                                     c.note(OpKind::Wakeup, Domain::Kernel, Layer::KernelCopyout);
                                     at = cpu.borrow_mut().finish(c);
-                                    k.endpoints
-                                        .get_mut(&id)
-                                        .expect("checked above")
-                                        .thread_busy_until = at;
+                                    if let Some(ep) = k.endpoints.get_mut(&id) {
+                                        ep.thread_busy_until = at;
+                                    }
                                 } else {
                                     // Thread still draining the ring: it
                                     // picks this packet up with no
@@ -726,7 +809,8 @@ mod tests {
             let ep = k.create_endpoint(RxMode::Ipc, sink);
             let def = k.create_endpoint(RxMode::Ipc, def_sink);
             k.set_default_endpoint(def);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7000), ep);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7000), ep)
+                .unwrap();
         }
         let f = udp_frame(EtherAddr::local(2), (B_IP, 7000), 10);
         Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
@@ -776,8 +860,10 @@ mod tests {
             let mut k = r.kernel.borrow_mut();
             let ep_a = k.create_endpoint(RxMode::Ipc, sink_a);
             let ep_b = k.create_endpoint(RxMode::Ipc, sink_b);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 1000), ep_a);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 2000), ep_b);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 1000), ep_a)
+                .unwrap();
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 2000), ep_b)
+                .unwrap();
         }
         for port in [1000u16, 1000, 2000] {
             let now = r.sim.now();
@@ -800,7 +886,9 @@ mod tests {
             let mut k = r.kernel.borrow_mut();
             let ep_srv = k.create_endpoint(RxMode::Ipc, sink_srv);
             ep_app = k.create_endpoint(RxMode::Ipc, sink_app);
-            fid = k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 9), ep_srv);
+            fid = k
+                .install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 9), ep_srv)
+                .unwrap();
         }
         let f = udp_frame(EtherAddr::local(2), (B_IP, 9), 1);
         Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f.clone());
@@ -834,7 +922,8 @@ mod tests {
             let mut k = r.kernel.borrow_mut();
             let ep = k.create_endpoint(RxMode::Shm, sink);
             ep_cell.set(Some(ep));
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep)
+                .unwrap();
         }
         // A train of back-to-back frames: the wire serializes them
         // ~60 µs apart while the first delivery reserves the thread.
@@ -859,7 +948,8 @@ mod tests {
         {
             let mut k = r.kernel.borrow_mut();
             let ep = k.create_endpoint(RxMode::Ipc, sink);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep)
+                .unwrap();
         }
         for _ in 0..5 {
             let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1);
@@ -887,7 +977,8 @@ mod tests {
         {
             let mut k = r.kernel.borrow_mut();
             let ep = k.create_endpoint(RxMode::ShmIpf, sink);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep)
+                .unwrap();
         }
         let f = udp_frame(EtherAddr::local(2), (B_IP, 7), 1400);
         Ethernet::transmit(&r.ether, &mut r.sim, SimTime::ZERO, f);
@@ -982,7 +1073,8 @@ mod tests {
         let ep = {
             let mut k = r.kernel.borrow_mut();
             let ep = k.create_endpoint(RxMode::Ipc, sink);
-            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep);
+            k.install_filter(EndpointSpec::unconnected(IpProto::Udp, B_IP, 7), ep)
+                .unwrap();
             ep
         };
         r.kernel.borrow_mut().destroy_endpoint(ep);

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use psd_sim::probe::ProbeHandle;
-use psd_sim::{Layer, Sim, SimTime};
+use psd_sim::{FaultPlaneHandle, FaultSite, Layer, Sim, SimTime};
 use psd_wire::{EtherAddr, EthernetHeader};
 
 /// Minimum frame length on the wire (without FCS).
@@ -123,6 +123,13 @@ pub struct Ethernet {
     stats: EtherStats,
     probe: Option<ProbeHandle>,
     trace: Option<Rc<RefCell<FrameTrace>>>,
+    /// Fault plane consulted per transmitted frame at
+    /// [`FaultSite::WireBurstLoss`]; an injection drops the frame and
+    /// the following `burst_len - 1` frames (correlated loss, the case
+    /// that defeats fast retransmit and forces an RTO).
+    fault: Option<FaultPlaneHandle>,
+    /// Frames still to drop from an in-progress loss burst.
+    burst_remaining: u32,
 }
 
 /// Shared handle to an [`Ethernet`].
@@ -141,6 +148,8 @@ impl Ethernet {
             stats: EtherStats::default(),
             probe: None,
             trace: None,
+            fault: None,
+            burst_remaining: 0,
         }))
     }
 
@@ -167,6 +176,20 @@ impl Ethernet {
     /// Replaces the fault model.
     pub fn set_faults(&mut self, faults: FaultModel) {
         self.faults = faults;
+    }
+
+    /// Attaches (or detaches) a fault plane. Each transmitted frame
+    /// visits [`FaultSite::WireBurstLoss`]; an unarmed plane never
+    /// consumes randomness, so attaching one does not perturb the
+    /// medium's own loss/duplication/reorder draws.
+    pub fn set_fault_plane(&mut self, fault: Option<FaultPlaneHandle>) {
+        self.fault = fault;
+    }
+
+    /// Test hook: drop the next `n` frames unconditionally (a scripted
+    /// loss burst at an exact point in a transfer).
+    pub fn drop_next_frames(&mut self, n: u32) {
+        self.burst_remaining = self.burst_remaining.max(n);
     }
 
     /// Current traffic counters.
@@ -207,6 +230,31 @@ impl Ethernet {
         seg.busy_until = arrival;
         if let Some(p) = &seg.probe {
             p.borrow_mut().record(Layer::NetworkTransit, duration);
+        }
+
+        // Burst loss (fault plane or the drop_next_frames hook): the
+        // frame is consumed from an in-progress burst, or starts one.
+        // Checked before the i.i.d. draws so an active burst does not
+        // consume the medium's own randomness; frames inside a burst
+        // do not count as WireBurstLoss visits.
+        if seg.burst_remaining > 0 {
+            seg.burst_remaining -= 1;
+            seg.stats.dropped += 1;
+            return arrival;
+        }
+        let plane_hit = match &seg.fault {
+            Some(f) => f.borrow_mut().should_inject(FaultSite::WireBurstLoss),
+            None => false,
+        };
+        if plane_hit {
+            let burst = seg
+                .fault
+                .as_ref()
+                .map(|f| f.borrow().burst_len())
+                .unwrap_or(1);
+            seg.burst_remaining = burst.saturating_sub(1);
+            seg.stats.dropped += 1;
+            return arrival;
         }
 
         // Fault injection.

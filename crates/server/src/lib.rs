@@ -34,7 +34,7 @@ use psd_kernel::{rpc_control_charge, EndpointId, KernelHandle, PacketSink, RxMod
 use psd_netstack::stack::{SessionState, StackHandle};
 use psd_netstack::udp::UdpSnapshot;
 use psd_netstack::{InetAddr, NetStack, Placement, Route, SockEvent, SockId, SocketError};
-use psd_sim::{Charge, CostModel, Layer, Sim, SimTime};
+use psd_sim::{Charge, CostModel, FaultSite, Layer, Sim, SimTime};
 use psd_wire::{EtherAddr, IpProto};
 
 /// A simulated process known to the server.
@@ -42,8 +42,16 @@ use psd_wire::{EtherAddr, IpProto};
 pub struct ProcId(pub u64);
 
 /// A network session (Table 1's unit of management).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct SessionId(pub u64);
+
+/// An application-unique idempotency token carried by retryable proxy
+/// RPCs. The server records the resource-allocating outcome under the
+/// token, so a retry after a lost reply returns the recorded outcome
+/// instead of re-allocating (a retried `proxy_bind` can never claim a
+/// second port).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RetryToken(pub u64);
 
 /// How the application wants packets delivered once a session migrates.
 pub struct RxSetup {
@@ -191,6 +199,21 @@ pub struct ServerStats {
     /// Late datagrams reclaimed from a library stack after their
     /// session migrated back to the server (fork/close races).
     pub udp_reclaimed: u64,
+    /// Migrations denied at the prepare phase (filter table full, SHM
+    /// ring install failure); the session fell back to the server path.
+    pub migrations_denied: u64,
+    /// Migrations rolled back after prepare (capsule lost between
+    /// export and retarget); the session stayed wholly at the server.
+    pub migrations_rolled_back: u64,
+    /// Retried RPCs answered from the idempotency ledger without
+    /// re-executing the resource allocation.
+    pub rpc_dedup_hits: u64,
+    /// Times the server has crashed.
+    pub crashes: u64,
+    /// Times the server has restarted after a crash.
+    pub restarts: u64,
+    /// Sessions rebuilt from stub records at restart.
+    pub sessions_rebuilt: u64,
 }
 
 /// The operating system server for one host.
@@ -213,8 +236,20 @@ pub struct OsServer {
     arp_listeners: Vec<ArpInvalidation>,
     select_waiters: Vec<SelectWaiter>,
     next_select: u64,
-    /// Sessions whose app forwards exceptional datagrams (reassembled
-    /// fragments) — maps local endpoint to the session.
+    /// True while the server is crashed: no RPC is served and the
+    /// in-memory session DB is gone until [`OsServer::restart`].
+    down: bool,
+    /// The durable trace of migrated sessions that survives a crash:
+    /// their packet filters and endpoints live in the kernel, so their
+    /// records can be rebuilt at restart. Populated by
+    /// [`OsServer::crash`], drained by [`OsServer::restart`].
+    stub_store: HashMap<SessionId, Session>,
+    /// Idempotency ledger: retry token → port claimed by an earlier
+    /// execution whose reply may have been lost.
+    token_ports: HashMap<u64, u16>,
+    /// Idempotency ledger: retry token → session allocated by an
+    /// earlier `proxy_socket` execution.
+    token_sessions: HashMap<u64, SessionId>,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -257,6 +292,10 @@ impl OsServer {
             arp_listeners: Vec::new(),
             select_waiters: Vec::new(),
             next_select: 1,
+            down: false,
+            stub_store: HashMap::new(),
+            token_ports: HashMap::new(),
+            token_sessions: HashMap::new(),
             stats: ServerStats::default(),
         }));
         server.borrow_mut().me = Rc::downgrade(&server);
@@ -270,11 +309,18 @@ impl OsServer {
                     return false;
                 };
                 let mut s = server.borrow_mut();
-                let migrated = s.sessions.values().any(|sess| {
-                    matches!(sess.home, Home::App)
-                        && sess.local == Some(local)
-                        && (sess.remote.is_none() || sess.remote == Some(remote))
-                });
+                // Stub records in `stub_store` also suppress: the
+                // suppression must survive a server crash, since the
+                // migrated session's data path is still live.
+                let migrated = s
+                    .sessions
+                    .values()
+                    .chain(s.stub_store.values())
+                    .any(|sess| {
+                        matches!(sess.home, Home::App)
+                            && sess.local == Some(local)
+                            && (sess.remote.is_none() || sess.remote == Some(remote))
+                    });
                 if migrated {
                     s.stats.strays_suppressed += 1;
                 }
@@ -356,11 +402,27 @@ impl OsServer {
 
     // ----- Table 1: proxy_socket -----
 
-    /// Creates a session managed by the operating system.
-    pub fn proxy_socket(&mut self, charge: &mut Charge, proc: ProcId, proto: Proto) -> SessionId {
+    /// Creates a session managed by the operating system. Idempotent
+    /// under `token`: a retry after a lost reply returns the session
+    /// the first execution allocated.
+    pub fn proxy_socket(
+        &mut self,
+        charge: &mut Charge,
+        proc: ProcId,
+        proto: Proto,
+        token: RetryToken,
+    ) -> SessionId {
         self.stats.rpcs += 1;
         rpc_control_charge(&self.costs, charge, 64);
-        self.alloc_session(proc, proto)
+        if let Some(&sid) = self.token_sessions.get(&token.0) {
+            if self.sessions.contains_key(&sid) {
+                self.stats.rpc_dedup_hits += 1;
+                return sid;
+            }
+        }
+        let sid = self.alloc_session(proc, proto);
+        self.token_sessions.insert(token.0, sid);
+        sid
     }
 
     // ----- Table 1: proxy_bind -----
@@ -369,7 +431,10 @@ impl OsServer {
     /// migrate to the application immediately ("Once the protocol and
     /// local endpoint have been specified for a UDP session with a
     /// proxy_bind call, the session may be used for sending and
-    /// receiving packets").
+    /// receiving packets"). Idempotent under `token`: the port claim
+    /// is recorded in the ledger, so a retry after a lost reply reuses
+    /// the port the first execution claimed instead of claiming a
+    /// second one.
     pub fn proxy_bind(
         this: &ServerHandle,
         sim: &mut Sim,
@@ -377,13 +442,24 @@ impl OsServer {
         sid: SessionId,
         port: u16,
         rx: Option<RxSetup>,
-    ) -> Result<Option<Box<MigratedSession>>, SocketError> {
+        token: RetryToken,
+    ) -> Result<Option<SessionReply>, SocketError> {
         let mut s = this.borrow_mut();
         s.stats.rpcs += 1;
         rpc_control_charge(&s.costs, charge, 64);
         let host_ip = s.host_ip;
         let proto = s.sessions.get(&sid).ok_or(SocketError::BadSocket)?.proto;
-        let port = s.ports.claim(proto, port)?;
+        let port = match s.token_ports.get(&token.0) {
+            Some(&p) => {
+                s.stats.rpc_dedup_hits += 1;
+                p
+            }
+            None => {
+                let p = s.ports.claim(proto, port)?;
+                s.token_ports.insert(token.0, p);
+                p
+            }
+        };
         let local = InetAddr::new(host_ip, port);
         {
             let sess = s.sessions.get_mut(&sid).expect("checked above");
@@ -391,12 +467,32 @@ impl OsServer {
         }
         match (proto, rx) {
             (Proto::Udp, Some(rx)) => {
-                // Migrate: null session state + endpoint + filter.
-                let state = SessionState::Udp(UdpSnapshot {
+                // Migrate. A retry may find the first execution's
+                // outcome already applied: if the session migrated,
+                // tear the old delivery path down and migrate afresh
+                // (harmless — the bind-time state is a null snapshot);
+                // if a rollback left it server-resident, export that
+                // state so nothing queued is lost.
+                let state = match s.sessions.get(&sid).map(|x| &x.home) {
+                    Some(Home::App) => {
+                        s.teardown_app_delivery(sid);
+                        if let Some(sess) = s.sessions.get_mut(&sid) {
+                            sess.home = Home::Embryo;
+                        }
+                        None
+                    }
+                    Some(Home::Server(sock)) => {
+                        let sock = *sock;
+                        s.sock_to_session.remove(&sock);
+                        s.stack.borrow_mut().export_session(sim, sock)
+                    }
+                    _ => None,
+                }
+                .unwrap_or(SessionState::Udp(UdpSnapshot {
                     local,
                     remote: None,
                     queued: Vec::new(),
-                });
+                }));
                 let reply = s.migrate_out(sim, charge, sid, state, rx, local, None);
                 Ok(Some(reply))
             }
@@ -404,7 +500,11 @@ impl OsServer {
                 // Server-based configuration: realize the socket in the
                 // server stack now.
                 s.ensure_server_sock(sim, sid)?;
-                Ok(None)
+                Ok(Some(SessionReply::ServerResident {
+                    session: sid,
+                    local,
+                    remote: None,
+                }))
             }
             (Proto::Tcp, _) => {
                 // TCP migrates at connect/accept time; only the port is
@@ -472,6 +572,11 @@ impl OsServer {
         done: DoneCallback,
     ) {
         let mut s = this.borrow_mut();
+        if s.down {
+            drop(s);
+            complete(sim, charge, done, Err(SocketError::TimedOut));
+            return;
+        }
         s.stats.rpcs += 1;
         rpc_control_charge(&s.costs, charge, 96);
         let Some(sess) = s.sessions.get_mut(&sid) else {
@@ -538,7 +643,7 @@ impl OsServer {
                                 s.migrate_out(sim, &mut ch, sid, state, rx, local, Some(remote));
                             cpu.borrow_mut().finish(ch);
                             drop(s);
-                            done(sim, Ok(SessionReply::Migrated(reply)));
+                            done(sim, Ok(reply));
                         });
                     }
                     None => match s.ensure_server_sock(sim, sid) {
@@ -604,13 +709,14 @@ impl OsServer {
         let mut s = this.borrow_mut();
         s.stats.rpcs += 1;
         rpc_control_charge(&s.costs, charge, 48);
-        if s.sessions
-            .get(&sid)
-            .ok_or(SocketError::BadSocket)?
-            .local
-            .is_none()
-        {
+        let sess = s.sessions.get(&sid).ok_or(SocketError::BadSocket)?;
+        if sess.local.is_none() {
             return Err(SocketError::Invalid);
+        }
+        if sess.listening {
+            // Idempotent retry after a lost reply.
+            s.stats.rpc_dedup_hits += 1;
+            return Ok(());
         }
         let sock = s.ensure_server_sock(sim, sid)?;
         s.stack.borrow_mut().listen(sock, backlog)?;
@@ -632,6 +738,11 @@ impl OsServer {
         done: DoneCallback,
     ) {
         let mut s = this.borrow_mut();
+        if s.down {
+            drop(s);
+            complete(sim, charge, done, Err(SocketError::TimedOut));
+            return;
+        }
         s.stats.rpcs += 1;
         rpc_control_charge(&s.costs, charge, 64);
         let listening = s
@@ -703,8 +814,7 @@ impl OsServer {
                         .borrow_mut()
                         .export_session(sim, child_sock)
                         .expect("established connection");
-                    let m = s.migrate_out(sim, &mut ch, child_sid, state, rx, local, Some(remote));
-                    SessionReply::Migrated(m)
+                    s.migrate_out(sim, &mut ch, child_sid, state, rx, local, Some(remote))
                 }
                 None => {
                     // Server-resident child.
@@ -727,9 +837,19 @@ impl OsServer {
         }
     }
 
-    /// Performs the outward migration: install the packet filter,
-    /// create the application endpoint, snapshot metastate, update the
-    /// session record.
+    /// Performs the outward migration as a two-phase transaction.
+    ///
+    /// *Prepare* creates the application endpoint and installs the
+    /// packet filter; either can fail (table exhaustion, SHM ring
+    /// install failure, or an injected fault), in which case the
+    /// migration is denied and the session falls back to the server
+    /// path. Between prepare and commit sits the capsule hop — the
+    /// exported state in flight between address spaces; a fault there
+    /// rolls the prepared resources back. *Commit* snapshots metastate
+    /// and flips the session's home. In every outcome the session is
+    /// wholly at exactly one owner: the filter retarget and the state
+    /// hand-off happen inside one synchronous event, so no delivery
+    /// can interleave with a partially migrated session.
     #[allow(clippy::too_many_arguments)] // One argument per §3.2 reply field.
     fn migrate_out(
         &mut self,
@@ -740,8 +860,7 @@ impl OsServer {
         rx: RxSetup,
         local: InetAddr,
         remote: Option<InetAddr>,
-    ) -> Box<MigratedSession> {
-        self.stats.migrations_out += 1;
+    ) -> SessionReply {
         charge.add_ns(Layer::Control, self.costs.rpc_base / 2);
         let proto = match &state {
             SessionState::Tcp(_) => IpProto::Tcp,
@@ -751,12 +870,29 @@ impl OsServer {
             Some(r) => EndpointSpec::connected(proto, local.ip, local.port, r.ip, r.port),
             None => EndpointSpec::unconnected(proto, local.ip, local.port),
         };
-        let (endpoint, filter) = {
-            let mut k = self.kernel.borrow_mut();
-            let ep = k.create_endpoint(rx.mode, rx.sink);
-            let f = k.install_filter(spec, ep);
-            (ep, f)
+        // Phase 1: prepare the delivery path.
+        let (endpoint, filter) = match self.migrate_prepare(charge, spec, rx) {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.stats.migrations_denied += 1;
+                return self.migrate_rollback(sim, sid, state, local, remote);
+            }
         };
+        // The capsule hop: a fault here loses the exported state in
+        // flight, so tear the prepared resources down and re-import
+        // the state server-side. The filter existed only within this
+        // event, so it never claimed a packet.
+        if charge.fault(FaultSite::MigrationCapsule) {
+            {
+                let mut k = self.kernel.borrow_mut();
+                k.remove_filter(filter);
+                k.destroy_endpoint(endpoint);
+            }
+            self.stats.migrations_rolled_back += 1;
+            return self.migrate_rollback(sim, sid, state, local, remote);
+        }
+        // Phase 2: commit.
+        self.stats.migrations_out += 1;
         let now = charge.at();
         let arp_entries = self.stack.borrow().arp.snapshot(now);
         let routes = {
@@ -769,8 +905,7 @@ impl OsServer {
         sess.endpoint = Some(endpoint);
         sess.local = Some(local);
         sess.remote = remote;
-        let _ = sim;
-        Box::new(MigratedSession {
+        SessionReply::Migrated(Box::new(MigratedSession {
             session: sid,
             state,
             endpoint,
@@ -779,7 +914,60 @@ impl OsServer {
             remote,
             arp_entries,
             routes,
-        })
+        }))
+    }
+
+    /// Phase 1 of [`OsServer::migrate_out`]: allocate the endpoint and
+    /// install the filter. On any failure nothing is left allocated.
+    fn migrate_prepare(
+        &mut self,
+        charge: &mut Charge,
+        spec: EndpointSpec,
+        rx: RxSetup,
+    ) -> Result<(EndpointId, FilterId), SocketError> {
+        let shm = matches!(rx.mode, RxMode::Shm | RxMode::ShmIpf);
+        if shm && charge.fault(FaultSite::ShmRing) {
+            return Err(SocketError::NoBufs);
+        }
+        let mut k = self.kernel.borrow_mut();
+        let ep = k.create_endpoint(rx.mode, rx.sink);
+        if charge.fault(FaultSite::FilterTable) {
+            k.destroy_endpoint(ep);
+            return Err(SocketError::NoBufs);
+        }
+        match k.install_filter(spec, ep) {
+            Ok(f) => Ok((ep, f)),
+            Err(_) => {
+                k.destroy_endpoint(ep);
+                Err(SocketError::NoBufs)
+            }
+        }
+    }
+
+    /// Undoes a failed migration: the exported state is re-imported
+    /// into the server's stack, so the session continues server-
+    /// resident with every queued byte intact.
+    fn migrate_rollback(
+        &mut self,
+        sim: &mut Sim,
+        sid: SessionId,
+        state: SessionState,
+        local: InetAddr,
+        remote: Option<InetAddr>,
+    ) -> SessionReply {
+        let sock = self.stack.borrow_mut().import_session(sim, state);
+        self.attach_dispatcher(sock);
+        if let Some(sess) = self.sessions.get_mut(&sid) {
+            sess.home = Home::Server(sock);
+            sess.local = Some(local);
+            sess.remote = remote;
+        }
+        self.sock_to_session.insert(sock, sid);
+        SessionReply::ServerResident {
+            session: sid,
+            local,
+            remote,
+        }
     }
 
     // ----- Table 1: proxy_return (fork) and close -----
@@ -992,6 +1180,119 @@ impl OsServer {
         this.borrow_mut().procs.remove(&proc);
     }
 
+    // ----- crash and restart -----
+
+    /// True while the server is crashed. Applications observe this as
+    /// RPC deadline expiry (the proxy library never reaches a down
+    /// server); tests may probe it directly.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Crashes the server: the in-memory session DB, port namespace,
+    /// idempotency ledgers and pending RPCs are lost, and
+    /// server-resident connections are aborted (their state died with
+    /// the server, so peers see resets). Migrated sessions survive —
+    /// their filters and endpoints are kernel state — and their
+    /// records move to the durable stub store from which
+    /// [`OsServer::restart`] rebuilds.
+    pub fn crash(this: &ServerHandle, sim: &mut Sim) {
+        let (server_socks, stack) = {
+            let mut s = this.borrow_mut();
+            if s.down {
+                return;
+            }
+            s.down = true;
+            s.stats.crashes += 1;
+            s.pending_connects.clear();
+            s.pending_accepts.clear();
+            s.select_waiters.clear();
+            s.notify.clear();
+            s.token_ports.clear();
+            s.token_sessions.clear();
+            // Abort in session order: iteration order of the map is
+            // not deterministic across runs, and aborts emit frames.
+            let mut socks: Vec<(SessionId, SockId)> = s
+                .sessions
+                .iter()
+                .filter_map(|(sid, sess)| match sess.home {
+                    Home::Server(sock) => Some((*sid, sock)),
+                    _ => None,
+                })
+                .collect();
+            socks.sort_by_key(|(sid, _)| *sid);
+            (socks, s.stack.clone())
+        };
+        {
+            let cpu = stack.borrow().cpu();
+            let now = sim.now();
+            let mut ch = cpu.borrow_mut().begin(now);
+            for (_, sock) in server_socks {
+                if stack.borrow().exists(sock) {
+                    stack.borrow_mut().abort(sim, &mut ch, sock);
+                }
+            }
+            cpu.borrow_mut().finish(ch);
+        }
+        let mut s = this.borrow_mut();
+        let sessions = std::mem::take(&mut s.sessions);
+        for (sid, sess) in sessions {
+            if matches!(sess.home, Home::App) {
+                s.stub_store.insert(sid, sess);
+            }
+        }
+        s.sock_to_session.clear();
+        s.procs.clear();
+        s.ports = PortNamespace::new();
+    }
+
+    /// Restarts a crashed server: the session DB and port namespace
+    /// are rebuilt from the stub records of migrated sessions (whose
+    /// kernel-side filters and endpoints are the durable trace).
+    /// Applications re-register and re-adopt their sessions with
+    /// [`OsServer::adopt_session`].
+    pub fn restart(this: &ServerHandle, _sim: &mut Sim) {
+        let mut s = this.borrow_mut();
+        if !s.down {
+            return;
+        }
+        s.down = false;
+        s.stats.restarts += 1;
+        let mut stubs: Vec<_> = std::mem::take(&mut s.stub_store).into_iter().collect();
+        stubs.sort_by_key(|(sid, _)| *sid);
+        for (sid, sess) in stubs {
+            if let Some(local) = sess.local {
+                let _ = s.ports.claim(sess.proto, local.port);
+            }
+            if sid.0 >= s.next_session {
+                s.next_session = sid.0 + 1;
+            }
+            s.stats.sessions_rebuilt += 1;
+            s.sessions.insert(sid, sess);
+        }
+    }
+
+    /// Whether the server currently knows `sid` (post-restart probe:
+    /// an application checks which of its descriptors were rebuilt).
+    pub fn has_session(&self, sid: SessionId) -> bool {
+        self.sessions.contains_key(&sid)
+    }
+
+    /// Re-attaches a rebuilt session to the process that re-registered
+    /// after a restart (the old [`ProcId`]s died with the server).
+    pub fn adopt_session(&mut self, sid: SessionId, proc: ProcId) {
+        if let Some(sess) = self.sessions.get_mut(&sid) {
+            sess.owners = vec![proc];
+            let p = self.procs.entry(proc).or_insert(Process {
+                alive: true,
+                sessions: Vec::new(),
+            });
+            if !p.sessions.contains(&sid) {
+                p.sessions.push(sid);
+            }
+        }
+    }
+
     // ----- data path for server-resident sessions -----
 
     /// TCP send on a server-resident session (the server-based
@@ -1075,6 +1376,11 @@ impl OsServer {
     }
 
     fn resident_sock(&self, sid: SessionId) -> Result<SockId, SocketError> {
+        if self.down {
+            // A data RPC to a crashed server is never answered; the
+            // proxy's deadline converts the silence into this error.
+            return Err(SocketError::TimedOut);
+        }
         match self.sessions.get(&sid).map(|s| &s.home) {
             Some(Home::Server(sock)) => Ok(*sock),
             Some(_) => Err(SocketError::NotConnected),
@@ -1100,6 +1406,9 @@ impl OsServer {
         ip: Ipv4Addr,
     ) -> Option<EtherAddr> {
         let mut s = this.borrow_mut();
+        if s.down {
+            return None;
+        }
         s.stats.rpcs += 1;
         rpc_control_charge(&s.costs, charge, 32);
         let now = charge.at();
@@ -1151,6 +1460,9 @@ impl OsServer {
     ) {
         {
             let mut s = this.borrow_mut();
+            if s.down {
+                return;
+            }
             s.stats.rpcs += 1;
             rpc_control_charge(&s.costs, charge, 32);
             if let Some(sess) = s.sessions.get_mut(&sid) {
@@ -1288,7 +1600,7 @@ impl OsServer {
                             let cpu = s.stack.borrow().cpu();
                             let now = sim.now();
                             let mut ch = cpu.borrow_mut().begin(now);
-                            let m = s.migrate_out(
+                            let reply = s.migrate_out(
                                 sim,
                                 &mut ch,
                                 p.session,
@@ -1298,7 +1610,7 @@ impl OsServer {
                                 Some(remote),
                             );
                             cpu.borrow_mut().finish(ch);
-                            SessionReply::Migrated(m)
+                            reply
                         }
                         None => {
                             if let Some(sess) = s.sessions.get_mut(&p.session) {

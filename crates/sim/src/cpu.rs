@@ -14,6 +14,7 @@
 //! in Table 2.
 
 use crate::census::{CensusHandle, Domain, OpKind};
+use crate::fault::{FaultPlaneHandle, FaultSite};
 use crate::probe::{Layer, ProbeHandle};
 use crate::time::SimTime;
 
@@ -24,6 +25,7 @@ pub struct Cpu {
     total_busy: SimTime,
     probe: Option<ProbeHandle>,
     census: Option<CensusHandle>,
+    fault: Option<FaultPlaneHandle>,
 }
 
 impl Cpu {
@@ -56,6 +58,20 @@ impl Cpu {
         self.census.as_ref()
     }
 
+    /// Attaches (or detaches) a fault plane; fault sites on every charge
+    /// opened on this CPU consult it. Like the census, consulting the
+    /// plane never charges virtual time, and an empty plane never
+    /// consumes randomness, so attaching one does not perturb the
+    /// simulation.
+    pub fn set_fault_plane(&mut self, fault: Option<FaultPlaneHandle>) {
+        self.fault = fault;
+    }
+
+    /// Returns the attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlaneHandle> {
+        self.fault.as_ref()
+    }
+
     /// The instant the CPU becomes free.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -74,6 +90,7 @@ impl Cpu {
             cursor: now.max(self.busy_until),
             probe: self.probe.clone(),
             census: self.census.clone(),
+            fault: self.fault.clone(),
         }
     }
 
@@ -97,6 +114,7 @@ pub struct Charge {
     cursor: SimTime,
     probe: Option<ProbeHandle>,
     census: Option<CensusHandle>,
+    fault: Option<FaultPlaneHandle>,
 }
 
 impl Charge {
@@ -108,6 +126,7 @@ impl Charge {
             cursor: now,
             probe,
             census: None,
+            fault: None,
         }
     }
 
@@ -194,6 +213,22 @@ impl Charge {
     /// Returns the census this cursor reports to.
     pub fn census_handle(&self) -> Option<CensusHandle> {
         self.census.clone()
+    }
+
+    /// Consults the fault plane at `site` (if one is attached): counts
+    /// the visit and reports whether this visit fails. Consulting is
+    /// free — the cursor does not advance — and a detached or empty
+    /// plane always answers `false`.
+    pub fn fault(&mut self, site: FaultSite) -> bool {
+        match &self.fault {
+            Some(f) => f.borrow_mut().should_inject(site),
+            None => false,
+        }
+    }
+
+    /// Returns the fault plane this cursor consults.
+    pub fn fault_handle(&self) -> Option<FaultPlaneHandle> {
+        self.fault.clone()
     }
 }
 

@@ -26,6 +26,7 @@ pub mod census;
 pub mod cost;
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod probe;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,7 @@ pub use census::{Census, CensusHandle, Domain, OpKind};
 pub use cost::{CostModel, Platform};
 pub use cpu::{Charge, Cpu};
 pub use engine::{Sim, SimHandle};
+pub use fault::{FaultPlane, FaultPlaneHandle, FaultSite};
 pub use probe::{LatencyProbe, Layer, LayerStats, PathKind, ProbeHandle};
 pub use rng::Rng;
 pub use stats::Summary;

@@ -264,6 +264,27 @@ impl TestBed {
             .collect()
     }
 
+    /// Attaches one shared fault plane to every host CPU and to the
+    /// wire, returning its handle. The plane starts empty (nothing
+    /// scripted, nothing armed): every fault site is visited and
+    /// counted, but no randomness is consumed and no fault fires, so
+    /// an attached-but-empty plane leaves every timing result
+    /// bit-identical. The plane carries a private fixed-seed RNG;
+    /// chaos tests overwrite it with `set_rng` before arming sites.
+    /// Deliberately draws nothing from the simulation's RNG — forking
+    /// it here would perturb later draws.
+    pub fn attach_fault_plane(&mut self) -> psd_sim::FaultPlaneHandle {
+        let plane = psd_sim::FaultPlane::shared();
+        plane
+            .borrow_mut()
+            .set_rng(psd_sim::Rng::new(0x9E37_79B9_7F4A_7C15));
+        for h in &self.hosts {
+            h.cpu.borrow_mut().set_fault_plane(Some(plane.clone()));
+        }
+        self.ether.borrow_mut().set_fault_plane(Some(plane.clone()));
+        plane
+    }
+
     /// Runs the simulation until idle.
     pub fn settle(&mut self) {
         self.sim.run_to_idle();

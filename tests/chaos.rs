@@ -1,0 +1,433 @@
+//! Seeded chaos suite: randomized fault schedules over the whole
+//! decomposed system. Every run arms all seven fault sites with
+//! seed-derived probabilities, drives a mixed UDP/TCP workload while a
+//! supervisor loop restarts crashed servers and re-registers
+//! applications, and then asserts the recovery invariants:
+//!
+//! * TCP delivery is exactly-once and in-order (the echoed stream is
+//!   always a prefix of what was sent, byte for byte);
+//! * after every descriptor closes, no session or port leaks on the
+//!   client host, and the server host holds at most its two services;
+//! * the same seed reproduces the identical run — the full digest
+//!   (byte counts, server stats, port namespaces, Ethernet counters,
+//!   operation census and fault-plane log) is byte-identical.
+
+mod common;
+
+use psd::core::{AppHandle, AppLib, Fd, FdEventFn};
+use psd::netstack::{InetAddr, SockEvent, SocketError};
+use psd::server::{OsServer, Proto, ServerHandle};
+use psd::sim::{FaultSite, Platform, Rng, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// Supervisor: restart any crashed server and re-register the
+/// applications that live on a restarted host.
+fn revive(bed: &mut TestBed, apps: &[(usize, AppHandle)]) {
+    let servers: Vec<Option<ServerHandle>> = bed.hosts.iter().map(|h| h.server.clone()).collect();
+    let mut restarted = vec![false; servers.len()];
+    for (i, os) in servers.iter().enumerate() {
+        if let Some(os) = os {
+            if os.borrow().is_down() {
+                OsServer::restart(os, &mut bed.sim);
+                restarted[i] = true;
+            }
+        }
+    }
+    for (host, app) in apps {
+        if restarted[*host] {
+            let _ = AppLib::reregister(app, &mut bed.sim);
+        }
+    }
+}
+
+/// Socket + bind with supervisor-assisted retry (a crash can eat any
+/// control RPC; the workload must survive that).
+fn bind_with_retry(
+    bed: &mut TestBed,
+    apps: &[(usize, AppHandle)],
+    app: &AppHandle,
+    proto: Proto,
+    port: u16,
+) -> Option<Fd> {
+    for _ in 0..8 {
+        let fd = AppLib::socket(app, &mut bed.sim, proto);
+        if AppLib::bind(app, &mut bed.sim, fd, port).is_ok() {
+            return Some(fd);
+        }
+        AppLib::close(app, &mut bed.sim, fd);
+        revive(bed, apps);
+        bed.run_for(SimTime::from_millis(20));
+    }
+    None
+}
+
+/// UDP echo service that tolerates faults (drops errors silently).
+fn chaos_udp_echo(bed: &mut TestBed, apps: &[(usize, AppHandle)], app: &AppHandle, port: u16) {
+    let fd = bind_with_retry(bed, apps, app, Proto::Udp, port).expect("udp echo bind");
+    let app2 = app.clone();
+    let handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                let mut buf = [0u8; 4096];
+                while let Ok((n, from)) = AppLib::recvfrom(&app2, sim, fd, &mut buf) {
+                    let _ = AppLib::sendto(&app2, sim, fd, &buf[..n], Some(from));
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(fd, handler);
+}
+
+/// TCP echo service whose connections clean up on resets: a crashed
+/// server aborts resident peers, and the leaked-session invariant
+/// needs the service to close what dies under it.
+fn chaos_tcp_echo(
+    bed: &mut TestBed,
+    apps: &[(usize, AppHandle)],
+    app: &AppHandle,
+    port: u16,
+) -> Rc<RefCell<usize>> {
+    let echoed = Rc::new(RefCell::new(0usize));
+    let lfd = bind_with_retry(bed, apps, app, Proto::Tcp, port).expect("tcp echo bind");
+    for _ in 0..8 {
+        if AppLib::listen(app, &mut bed.sim, lfd, 8).is_ok() {
+            break;
+        }
+        revive(bed, apps);
+        bed.run_for(SimTime::from_millis(20));
+    }
+    let app2 = app.clone();
+    let echoed2 = echoed.clone();
+    let conn_handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| match ev {
+            SockEvent::Readable | SockEvent::PeerClosed => loop {
+                let mut buf = [0u8; 4096];
+                match AppLib::recv(&app2, sim, fd, &mut buf) {
+                    Ok(0) => {
+                        AppLib::close(&app2, sim, fd);
+                        break;
+                    }
+                    Ok(n) => {
+                        *echoed2.borrow_mut() += n;
+                        let mut off = 0;
+                        while off < n {
+                            match AppLib::send(&app2, sim, fd, &buf[off..n]) {
+                                Ok(m) if m > 0 => off += m,
+                                _ => return, // backpressure or fault: drop the rest
+                            }
+                        }
+                    }
+                    Err(SocketError::WouldBlock) => break,
+                    Err(_) => {
+                        AppLib::close(&app2, sim, fd);
+                        break;
+                    }
+                }
+            },
+            SockEvent::Error(_) => AppLib::close(&app2, sim, fd),
+            _ => {}
+        },
+    ));
+    let app3 = app.clone();
+    let listen_handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                while let Ok(conn) = AppLib::accept(&app3, sim, fd) {
+                    app3.borrow_mut()
+                        .set_event_handler(conn, conn_handler.clone());
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(lfd, listen_handler);
+    echoed
+}
+
+struct ChaosClient {
+    fd: Fd,
+    replies: Rc<RefCell<Vec<u8>>>,
+    connected: Rc<RefCell<bool>>,
+}
+
+/// TCP client with supervisor-assisted connect retry. Returns None if
+/// the fault schedule never lets a connection form.
+fn chaos_tcp_client(
+    bed: &mut TestBed,
+    apps: &[(usize, AppHandle)],
+    app: &AppHandle,
+    dst: InetAddr,
+) -> Option<ChaosClient> {
+    for _ in 0..5 {
+        let fd = AppLib::socket(app, &mut bed.sim, Proto::Tcp);
+        let replies = Rc::new(RefCell::new(Vec::new()));
+        let connected = Rc::new(RefCell::new(false));
+        let (app2, r2, c2) = (app.clone(), replies.clone(), connected.clone());
+        let handler: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| match ev {
+                SockEvent::Connected => *c2.borrow_mut() = true,
+                SockEvent::Readable => loop {
+                    let mut buf = [0u8; 4096];
+                    match AppLib::recv(&app2, sim, fd, &mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => r2.borrow_mut().extend_from_slice(&buf[..n]),
+                        Err(_) => break,
+                    }
+                },
+                _ => {}
+            },
+        ));
+        app.borrow_mut().set_event_handler(fd, handler);
+        if AppLib::connect(app, &mut bed.sim, fd, dst).is_ok() {
+            let ok = {
+                let c = connected.clone();
+                let deadline = bed.sim.now() + SimTime::from_secs(30);
+                loop {
+                    if *c.borrow() {
+                        break true;
+                    }
+                    if bed.sim.now() >= deadline {
+                        break false;
+                    }
+                    bed.run_for(SimTime::from_millis(10));
+                    revive(bed, apps);
+                }
+            };
+            if ok {
+                return Some(ChaosClient {
+                    fd,
+                    replies,
+                    connected,
+                });
+            }
+        }
+        AppLib::close(app, &mut bed.sim, fd);
+        revive(bed, apps);
+        bed.run_for(SimTime::from_millis(50));
+    }
+    None
+}
+
+/// One full chaos run: returns the deterministic digest.
+fn run_chaos(config: SystemConfig, seed: u64) -> String {
+    let mut bed = TestBed::new(config, Platform::DecStation5000_200, seed);
+    let censuses = bed.attach_census();
+    let plane = bed.attach_fault_plane();
+    {
+        let mut p = plane.borrow_mut();
+        p.set_rng(Rng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1));
+        p.arm(FaultSite::ProxyRpc, 0.02);
+        p.arm(FaultSite::ServerCrash, 0.01);
+        p.arm(FaultSite::MigrationCapsule, 0.10);
+        p.arm(FaultSite::FilterTable, 0.05);
+        p.arm(FaultSite::ShmRing, 0.05);
+        p.arm(FaultSite::NicRx, 0.001);
+        p.arm(FaultSite::WireBurstLoss, 0.0005);
+    }
+    let server_app = bed.hosts[1].spawn_app();
+    let client_app = bed.hosts[0].spawn_app();
+    let apps = vec![(0usize, client_app.clone()), (1usize, server_app.clone())];
+
+    let tcp_echoed = chaos_tcp_echo(&mut bed, &apps, &server_app, 80);
+    chaos_udp_echo(&mut bed, &apps, &server_app, 53);
+
+    // --- UDP workload ---
+    let udp_fd = bind_with_retry(&mut bed, &apps, &client_app, Proto::Udp, 4000);
+    let udp_got = Rc::new(RefCell::new(0usize));
+    if let Some(fd) = udp_fd {
+        let (app2, got2) = (client_app.clone(), udp_got.clone());
+        let handler: FdEventFn = Rc::new(RefCell::new(
+            move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+                if ev == SockEvent::Readable {
+                    let mut buf = [0u8; 4096];
+                    while AppLib::recvfrom(&app2, sim, fd, &mut buf).is_ok() {
+                        *got2.borrow_mut() += 1;
+                    }
+                }
+            },
+        ));
+        client_app.borrow_mut().set_event_handler(fd, handler);
+        let dst = InetAddr::new(bed.hosts[1].ip, 53);
+        for i in 0..30u32 {
+            let payload = vec![(i % 251) as u8; 64 + (i as usize % 64)];
+            let _ = AppLib::sendto(&client_app, &mut bed.sim, fd, &payload, Some(dst));
+            bed.run_for(SimTime::from_millis(10));
+            revive(&mut bed, &apps);
+        }
+    }
+
+    // --- TCP workload ---
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = chaos_tcp_client(&mut bed, &apps, &client_app, dst);
+    let mut tcp_sent = 0usize;
+    let pattern: Vec<u8> = (0..12 * 1024u32).map(|i| (i % 239) as u8).collect();
+    if let Some(client) = &client {
+        let mut stalled = 0;
+        while tcp_sent < pattern.len() && stalled < 500 {
+            match AppLib::send(&client_app, &mut bed.sim, client.fd, &pattern[tcp_sent..]) {
+                Ok(n) if n > 0 => {
+                    tcp_sent += n;
+                    stalled = 0;
+                }
+                _ => stalled += 1,
+            }
+            bed.run_for(SimTime::from_millis(10));
+            revive(&mut bed, &apps);
+        }
+        // Drain: wait for the echo of everything that was accepted, or
+        // give up after a bounded quiet period (the path may have died).
+        let deadline = bed.sim.now() + SimTime::from_secs(60);
+        while client.replies.borrow().len() < tcp_sent && bed.sim.now() < deadline {
+            bed.run_for(SimTime::from_millis(20));
+            revive(&mut bed, &apps);
+        }
+        // Invariant: exactly-once, in-order. Whatever came back must be
+        // a byte-exact prefix of what was sent.
+        let replies = client.replies.borrow();
+        assert!(
+            replies.len() <= tcp_sent,
+            "more bytes echoed than sent: {} > {} (config {} seed {})",
+            replies.len(),
+            tcp_sent,
+            config.label(),
+            seed
+        );
+        assert_eq!(
+            replies.as_slice(),
+            &pattern[..replies.len()],
+            "TCP stream corrupted (config {} seed {})",
+            config.label(),
+            seed
+        );
+    }
+
+    // --- teardown: close every client descriptor and check for leaks ---
+    revive(&mut bed, &apps);
+    if let Some(client) = &client {
+        AppLib::close(&client_app, &mut bed.sim, client.fd);
+    }
+    if let Some(fd) = udp_fd {
+        AppLib::close(&client_app, &mut bed.sim, fd);
+    }
+    // Drain until the client host's sessions are gone (TCP holds the
+    // session through FIN/TIME_WAIT) or a generous bound passes.
+    for _ in 0..1200 {
+        bed.run_for(SimTime::from_millis(100));
+        revive(&mut bed, &apps);
+        let clear = bed.hosts[0]
+            .server
+            .as_ref()
+            .is_none_or(|os| os.borrow().session_count() == 0);
+        if clear {
+            break;
+        }
+    }
+
+    let os0 = bed.hosts[0].server.clone();
+    if let Some(os0) = &os0 {
+        assert_eq!(
+            os0.borrow().session_count(),
+            0,
+            "client host leaked sessions (config {} seed {})",
+            config.label(),
+            seed
+        );
+        assert_eq!(
+            os0.borrow().ports().len(),
+            0,
+            "client host leaked ports (config {} seed {})",
+            config.label(),
+            seed
+        );
+    }
+    let os1 = bed.hosts[1].server.clone();
+    if let Some(os1) = &os1 {
+        // At most the two echo services (fewer if a crash killed them).
+        assert!(
+            os1.borrow().session_count() <= 2,
+            "server host leaked sessions: {} (config {} seed {})",
+            os1.borrow().session_count(),
+            config.label(),
+            seed
+        );
+        assert!(os1.borrow().ports().len() <= 2);
+    }
+
+    // --- digest ---
+    let mut d = String::new();
+    let _ = writeln!(d, "config={} seed={}", config.label(), seed);
+    let _ = writeln!(
+        d,
+        "udp_replies={} tcp_sent={} tcp_replies={} tcp_echoed={} connected={}",
+        *udp_got.borrow(),
+        tcp_sent,
+        client.as_ref().map_or(0, |c| c.replies.borrow().len()),
+        *tcp_echoed.borrow(),
+        client.as_ref().is_some_and(|c| *c.connected.borrow()),
+    );
+    for (i, host) in bed.hosts.iter().enumerate() {
+        if let Some(os) = &host.server {
+            let s = os.borrow();
+            let _ = writeln!(
+                d,
+                "host{} sessions={} ports={} stats={:?}",
+                i,
+                s.session_count(),
+                s.ports().len(),
+                s.stats
+            );
+        }
+    }
+    let _ = writeln!(d, "ether={:?}", bed.ether.borrow().stats());
+    let _ = writeln!(d, "injected={}", plane.borrow().total_injected());
+    let _ = writeln!(d, "plane:\n{}", plane.borrow().snapshot());
+    for (i, c) in censuses.iter().enumerate() {
+        let _ = writeln!(d, "census host{}:\n{}", i, c.borrow().snapshot());
+    }
+    d
+}
+
+/// Same seed, same schedule, same digest — byte for byte.
+fn chaos_matrix(config: SystemConfig) {
+    let mut injected_total = 0u64;
+    for seed in SEEDS {
+        let d1 = run_chaos(config, seed);
+        let d2 = run_chaos(config, seed);
+        assert_eq!(
+            d1,
+            d2,
+            "chaos run is not reproducible for {} seed {}",
+            config.label(),
+            seed
+        );
+        let line = d1
+            .lines()
+            .find(|l| l.starts_with("injected="))
+            .expect("digest has an injection count");
+        injected_total += line["injected=".len()..].parse::<u64>().unwrap();
+    }
+    assert!(
+        injected_total > 0,
+        "the chaos matrix for {} never injected a fault — the suite is vacuous",
+        config.label()
+    );
+}
+
+#[test]
+fn chaos_server_based_placement() {
+    chaos_matrix(SystemConfig::UxServer);
+}
+
+#[test]
+fn chaos_library_ipc_placement() {
+    chaos_matrix(SystemConfig::LibraryIpc);
+}
+
+#[test]
+fn chaos_library_shm_placement() {
+    chaos_matrix(SystemConfig::LibraryShm);
+}

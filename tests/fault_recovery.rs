@@ -1,0 +1,374 @@
+//! Targeted fault-injection and recovery tests: each test drives one
+//! named failure mode through the fault plane (or a direct knob) and
+//! asserts the recovery protocol's contract — graceful degradation to
+//! the server path, idempotent RPC retry, migration rollback, and
+//! server crash/restart with session-DB rebuild.
+
+mod common;
+
+use common::{run_until, tcp_client, tcp_echo_server, udp_echo_server};
+use psd::core::{AppHandle, AppLib, Fd, FdEventFn};
+use psd::netstack::{InetAddr, SockEvent, SocketError};
+use psd::server::{OsServer, Proto};
+use psd::sim::{FaultSite, Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Attaches a datagram-counting handler to a UDP descriptor.
+fn count_datagrams(app: &AppHandle, fd: Fd) -> Rc<RefCell<usize>> {
+    let got = Rc::new(RefCell::new(0usize));
+    let (app2, got2) = (app.clone(), got.clone());
+    let handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                let mut buf = [0u8; 4096];
+                while AppLib::recvfrom(&app2, sim, fd, &mut buf).is_ok() {
+                    *got2.borrow_mut() += 1;
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(fd, handler);
+    got
+}
+
+/// Sends request datagrams until at least one echo comes back (the
+/// first send to a fresh destination is lost while ARP resolves).
+fn echo_until_reply(
+    bed: &mut TestBed,
+    app: &AppHandle,
+    fd: Fd,
+    dst: InetAddr,
+    got: &Rc<RefCell<usize>>,
+) {
+    let floor = *got.borrow();
+    for _ in 0..50 {
+        let _ = AppLib::sendto(app, &mut bed.sim, fd, b"ping", Some(dst));
+        bed.run_for(SimTime::from_millis(50));
+        if *got.borrow() > floor {
+            return;
+        }
+    }
+    panic!("no echo came back on the degraded path");
+}
+
+/// Filter-table exhaustion: when the kernel cannot take another packet
+/// filter, the bind must NOT fail — the session falls back to the
+/// server data path (DESIGN.md §6), and once a migrated socket closes
+/// and frees its slot, new binds migrate again.
+#[test]
+fn filter_exhaustion_falls_back_to_server_path_and_recovers() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 7);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 53);
+
+    // One migrated bind to establish the baseline.
+    let fd0 = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd0, 5000).expect("bind fd0");
+    let base_migrations = os.borrow().stats.migrations_out;
+    assert!(base_migrations >= 1, "library-mode bind must migrate");
+
+    // Freeze the filter table at its current size: the next install
+    // must be denied.
+    let installed = bed.hosts[0].kernel.borrow().filters_installed();
+    bed.hosts[0]
+        .kernel
+        .borrow_mut()
+        .set_filter_capacity(Some(installed));
+
+    let fd1 = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd1, 5001).expect("degraded bind must still succeed");
+    assert_eq!(os.borrow().stats.migrations_denied, 1);
+    assert_eq!(
+        os.borrow().stats.migrations_out,
+        base_migrations,
+        "a denied migration must not count as migrated"
+    );
+
+    // The degraded descriptor still passes data via the server path.
+    let got = count_datagrams(&client_app, fd1);
+    echo_until_reply(&mut bed, &client_app, fd1, dst, &got);
+
+    // Closing the migrated socket frees its filter slot; a fresh bind
+    // migrates again.
+    AppLib::close(&client_app, &mut bed.sim, fd0);
+    bed.run_for(SimTime::from_millis(100));
+    let fd2 = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd2, 5002).expect("bind fd2");
+    assert!(
+        os.borrow().stats.migrations_out > base_migrations,
+        "migration must resume once a slot frees up"
+    );
+}
+
+/// A 3-frame burst loss mid-transfer: the library stack's TCP must
+/// retransmit and the receiver must see every byte exactly once.
+#[test]
+fn tcp_recovers_from_three_frame_burst_loss() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 11);
+    let server_app = bed.hosts[1].spawn_app();
+    let echoed = tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(60), || {
+        *client.connected.borrow()
+    }));
+
+    let pattern: Vec<u8> = (0..16 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let mut sent = 0;
+    let mut burst_fired = false;
+    let mut guard = 0;
+    while sent < pattern.len() {
+        guard += 1;
+        assert!(guard < 10_000, "stalled at {sent}");
+        if let Ok(n) = AppLib::send(&client_app, &mut bed.sim, client.fd, &pattern[sent..]) {
+            sent += n;
+        }
+        if !burst_fired && sent >= pattern.len() / 2 {
+            // Kill the next three frames on the wire, whatever they are.
+            bed.ether.borrow_mut().drop_next_frames(3);
+            burst_fired = true;
+        }
+        bed.run_for(SimTime::from_millis(50));
+    }
+    assert!(
+        run_until(&mut bed, SimTime::from_secs(300), || {
+            client.replies.borrow().len() >= pattern.len()
+        }),
+        "echo incomplete after burst loss: {} of {}",
+        client.replies.borrow().len(),
+        pattern.len()
+    );
+    assert_eq!(
+        client.replies.borrow().as_slice(),
+        pattern.as_slice(),
+        "burst loss corrupted the stream"
+    );
+    assert_eq!(*echoed.borrow(), pattern.len());
+    assert!(bed.ether.borrow().stats().dropped >= 3);
+    let rexmt = client_app
+        .borrow()
+        .stack()
+        .map(|s| s.borrow().stats.tcp_rexmt)
+        .unwrap_or(0)
+        + server_app
+            .borrow()
+            .stack()
+            .map(|s| s.borrow().stats.tcp_rexmt)
+            .unwrap_or(0);
+    assert!(rexmt > 0, "a burst loss must force retransmission");
+}
+
+/// Losing the migration capsule between export and retarget triggers
+/// the rollback path: the session must stay wholly server-resident —
+/// exactly one owner — and datagrams keep flowing exactly once.
+#[test]
+fn lost_migration_capsule_rolls_back_to_server_residence() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 13);
+    let plane = bed.attach_fault_plane();
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53); // migrates on host 1
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 53);
+
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    // Fault exactly the next visit to the capsule site (earlier visits
+    // belong to the echo server's own migration on host 1).
+    let v = plane.borrow().visits(FaultSite::MigrationCapsule);
+    plane.borrow_mut().script(FaultSite::MigrationCapsule, &[v]);
+    AppLib::bind(&client_app, &mut bed.sim, fd, 6000).expect("bind survives capsule loss");
+
+    assert_eq!(os.borrow().stats.migrations_rolled_back, 1);
+    assert_eq!(plane.borrow().injected(FaultSite::MigrationCapsule), 1);
+    assert_eq!(os.borrow().session_count(), 1, "exactly one session");
+    assert_eq!(os.borrow().ports().len(), 1, "exactly one port claim");
+
+    // Exactly-once delivery on the rolled-back (server-resident) path.
+    let got = count_datagrams(&client_app, fd);
+    echo_until_reply(&mut bed, &client_app, fd, dst, &got);
+    let after_warm = *got.borrow();
+    for _ in 0..5 {
+        AppLib::sendto(&client_app, &mut bed.sim, fd, b"pong", Some(dst)).expect("sendto");
+        bed.run_for(SimTime::from_millis(50));
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *got.borrow() >= after_warm + 5
+    }));
+    bed.run_for(SimTime::from_millis(500));
+    assert_eq!(
+        *got.borrow(),
+        after_warm + 5,
+        "a rolled-back migration must not duplicate datagrams"
+    );
+}
+
+/// Server crash and restart in library mode: migrated sessions keep
+/// passing data while the server is down (their state is kernel
+/// state), re-registration fails until restart, and the session DB is
+/// rebuilt from the stub records.
+#[test]
+fn migrated_sessions_survive_server_crash_and_restart() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 17);
+    let server_app = bed.hosts[1].spawn_app();
+    tcp_echo_server(&mut bed, &server_app, 80);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 80);
+    let client = tcp_client(&mut bed, &client_app, dst);
+    assert!(run_until(&mut bed, SimTime::from_secs(60), || {
+        *client.connected.borrow()
+    }));
+
+    let chunk: Vec<u8> = (0..4096u32).map(|i| (i % 239) as u8).collect();
+    let mut pushed = 0;
+    while pushed < chunk.len() {
+        if let Ok(n) = AppLib::send(&client_app, &mut bed.sim, client.fd, &chunk[pushed..]) {
+            pushed += n;
+        }
+        bed.run_for(SimTime::from_millis(20));
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(30), || {
+        client.replies.borrow().len() >= chunk.len()
+    }));
+
+    OsServer::crash(&os, &mut bed.sim);
+    assert!(os.borrow().is_down());
+    assert!(
+        !AppLib::reregister(&client_app, &mut bed.sim),
+        "re-registration must fail while the server is down"
+    );
+
+    // The migrated connection's data path never touches the server.
+    let mut pushed2 = 0;
+    let mut guard = 0;
+    while pushed2 < chunk.len() {
+        guard += 1;
+        assert!(guard < 10_000, "migrated path stalled during crash");
+        if let Ok(n) = AppLib::send(&client_app, &mut bed.sim, client.fd, &chunk[pushed2..]) {
+            pushed2 += n;
+        }
+        bed.run_for(SimTime::from_millis(20));
+    }
+    assert!(
+        run_until(&mut bed, SimTime::from_secs(30), || {
+            client.replies.borrow().len() >= 2 * chunk.len()
+        }),
+        "migrated session must keep flowing while the server is down"
+    );
+    let replies = client.replies.borrow();
+    assert_eq!(&replies[..chunk.len()], chunk.as_slice());
+    assert_eq!(&replies[chunk.len()..2 * chunk.len()], chunk.as_slice());
+    drop(replies);
+
+    OsServer::restart(&os, &mut bed.sim);
+    assert!(!os.borrow().is_down());
+    assert!(os.borrow().stats.sessions_rebuilt >= 1);
+    assert_eq!(os.borrow().stats.crashes, 1);
+    assert_eq!(os.borrow().stats.restarts, 1);
+    assert!(
+        AppLib::reregister(&client_app, &mut bed.sim),
+        "re-registration must succeed after restart"
+    );
+
+    // Control-plane service has resumed: a new bind migrates.
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd, 7000).expect("bind after restart");
+}
+
+/// Server crash in the server-based configuration: resident
+/// descriptors die with the server's in-memory DB, and re-registered
+/// applications get clean failures plus a working control plane.
+#[test]
+fn server_resident_descriptors_die_with_the_server() {
+    let mut bed = TestBed::new(SystemConfig::UxServer, Platform::DecStation5000_200, 19);
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 53);
+
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd, 7100).expect("bind");
+    let got = count_datagrams(&client_app, fd);
+    echo_until_reply(&mut bed, &client_app, fd, dst, &got);
+
+    OsServer::crash(&os, &mut bed.sim);
+    assert!(
+        AppLib::sendto(&client_app, &mut bed.sim, fd, b"x", Some(dst)).is_err(),
+        "resident data path must fail while the server is down"
+    );
+
+    OsServer::restart(&os, &mut bed.sim);
+    assert!(AppLib::reregister(&client_app, &mut bed.sim));
+    // The resident session died in the crash; its descriptor is gone.
+    assert!(
+        AppLib::sendto(&client_app, &mut bed.sim, fd, b"x", Some(dst)).is_err(),
+        "a dead descriptor must not come back to life"
+    );
+
+    // A fresh socket works end to end again.
+    let fd2 = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&client_app, &mut bed.sim, fd2, 7200).expect("bind after restart");
+    let got2 = count_datagrams(&client_app, fd2);
+    echo_until_reply(&mut bed, &client_app, fd2, dst, &got2);
+}
+
+/// A lost RPC reply is retried with the same token: the server answers
+/// from its idempotency ledger, so the port is claimed exactly once
+/// and no session is duplicated.
+#[test]
+fn lost_rpc_reply_retries_without_double_allocation() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 23);
+    let plane = bed.attach_fault_plane();
+    let server_app = bed.hosts[1].spawn_app();
+    udp_echo_server(&mut bed, &server_app, 53);
+    let client_app = bed.hosts[0].spawn_app();
+    let os = bed.hosts[0].server.clone().unwrap();
+    let dst = InetAddr::new(bed.hosts[1].ip, 53);
+
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    // Lose exactly the next RPC reply (the bind below).
+    let v = plane.borrow().visits(FaultSite::ProxyRpc);
+    plane.borrow_mut().script(FaultSite::ProxyRpc, &[v]);
+    AppLib::bind(&client_app, &mut bed.sim, fd, 8000).expect("bind survives a lost reply");
+
+    assert_eq!(client_app.borrow().stats.rpc_retries, 1);
+    assert!(os.borrow().stats.rpc_dedup_hits >= 1);
+    assert_eq!(
+        os.borrow().ports().len(),
+        1,
+        "a retried bind must not claim a second port"
+    );
+    assert_eq!(os.borrow().session_count(), 1);
+
+    // The retried, re-migrated descriptor passes data normally.
+    let got = count_datagrams(&client_app, fd);
+    echo_until_reply(&mut bed, &client_app, fd, dst, &got);
+}
+
+/// Every retry attempt's reply is lost: the call must fail with a
+/// clean deadline timeout, not hang and not panic.
+#[test]
+fn rpc_deadline_expires_after_bounded_retries() {
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 29);
+    let plane = bed.attach_fault_plane();
+    let client_app = bed.hosts[0].spawn_app();
+
+    let fd = AppLib::socket(&client_app, &mut bed.sim, Proto::Udp);
+    let v = plane.borrow().visits(FaultSite::ProxyRpc);
+    plane
+        .borrow_mut()
+        .script(FaultSite::ProxyRpc, &[v, v + 1, v + 2, v + 3]);
+    assert_eq!(
+        AppLib::bind(&client_app, &mut bed.sim, fd, 8100),
+        Err(SocketError::TimedOut)
+    );
+    assert_eq!(client_app.borrow().stats.rpc_timeouts, 1);
+    assert_eq!(plane.borrow().injected(FaultSite::ProxyRpc), 4);
+}
