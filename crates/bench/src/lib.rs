@@ -11,6 +11,8 @@
 //! so a single workload implementation measures all eight systems.
 
 pub mod tables;
+pub mod workload;
 pub mod workloads;
 
+pub use workload::{session_scaling, ScaleReport, WorkloadSpec};
 pub use workloads::{protolat, ttcp, ApiStyle, ProtolatResult, TtcpResult};

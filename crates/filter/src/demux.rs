@@ -15,7 +15,8 @@
 //! kernel can charge filter time to the `netisr/packet filter` row of
 //! Table 4.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use crate::compile::{compile_endpoint, session_prefix, EndpointSpec};
@@ -55,12 +56,29 @@ struct Installed<T> {
 type MpfKey = (u8, Ipv4Addr, u16, Option<(Ipv4Addr, u16)>);
 
 /// The table of installed per-session filters.
+///
+/// All maintenance is incremental: install and remove are O(log n),
+/// CSPF evaluation order is kept in a sorted set rather than re-sorting
+/// a vector, and the MPF endpoint index maps each key to the set of
+/// filter ids sharing it (the earliest install wins, exactly as a
+/// specificity-then-install-ordered scan would pick it).
 pub struct DemuxTable<T> {
     strategy: DemuxStrategy,
-    filters: Vec<Installed<T>>,
-    mpf_index: HashMap<MpfKey, usize>,
+    filters: HashMap<u64, Installed<T>>,
+    /// CSPF evaluation order: (specificity descending, id ascending).
+    order: BTreeSet<(Reverse<u8>, u64)>,
+    mpf_index: HashMap<MpfKey, BTreeSet<u64>>,
     prefix_len: usize,
     next_id: u64,
+}
+
+fn mpf_key(spec: &EndpointSpec) -> MpfKey {
+    (
+        spec.proto.to_u8(),
+        spec.local_ip,
+        spec.local_port,
+        spec.remote,
+    )
 }
 
 impl<T: Clone> DemuxTable<T> {
@@ -68,7 +86,8 @@ impl<T: Clone> DemuxTable<T> {
     pub fn new(strategy: DemuxStrategy) -> DemuxTable<T> {
         DemuxTable {
             strategy,
-            filters: Vec::new(),
+            filters: HashMap::new(),
+            order: BTreeSet::new(),
             mpf_index: HashMap::new(),
             prefix_len: session_prefix().len(),
             next_id: 1,
@@ -95,52 +114,47 @@ impl<T: Clone> DemuxTable<T> {
         let id = FilterId(self.next_id);
         self.next_id += 1;
         let program = compile_endpoint(&spec);
-        self.filters.push(Installed {
-            id,
-            spec,
-            program,
-            owner,
-        });
-        // Keep CSPF evaluation in specificity-then-install order, and
-        // the MPF index consistent.
-        self.filters.sort_by(|a, b| {
-            b.spec
-                .specificity()
-                .cmp(&a.spec.specificity())
-                .then(a.id.0.cmp(&b.id.0))
-        });
-        self.rebuild_index();
+        self.order.insert((Reverse(spec.specificity()), id.0));
+        self.mpf_index
+            .entry(mpf_key(&spec))
+            .or_default()
+            .insert(id.0);
+        self.filters.insert(
+            id.0,
+            Installed {
+                id,
+                spec,
+                program,
+                owner,
+            },
+        );
         id
     }
 
     /// Removes an installed filter. Returns true if it existed.
     pub fn remove(&mut self, id: FilterId) -> bool {
-        let before = self.filters.len();
-        self.filters.retain(|f| f.id != id);
-        let removed = self.filters.len() != before;
-        if removed {
-            self.rebuild_index();
+        let Some(f) = self.filters.remove(&id.0) else {
+            return false;
+        };
+        self.order.remove(&(Reverse(f.spec.specificity()), id.0));
+        let key = mpf_key(&f.spec);
+        if let Some(ids) = self.mpf_index.get_mut(&key) {
+            ids.remove(&id.0);
+            if ids.is_empty() {
+                self.mpf_index.remove(&key);
+            }
         }
-        removed
+        true
     }
 
     /// Looks up the spec of an installed filter.
     pub fn spec(&self, id: FilterId) -> Option<EndpointSpec> {
-        self.filters.iter().find(|f| f.id == id).map(|f| f.spec)
+        self.filters.get(&id.0).map(|f| f.spec)
     }
 
-    fn rebuild_index(&mut self) {
-        self.mpf_index.clear();
-        for (i, f) in self.filters.iter().enumerate() {
-            let key: MpfKey = (
-                f.spec.proto.to_u8(),
-                f.spec.local_ip,
-                f.spec.local_port,
-                f.spec.remote,
-            );
-            // First (most specific / earliest installed) filter wins.
-            self.mpf_index.entry(key).or_insert(i);
-        }
+    /// Looks up the owner of an installed filter.
+    pub fn owner(&self, id: FilterId) -> Option<&T> {
+        self.filters.get(&id.0).map(|f| &f.owner)
     }
 
     /// Classifies a received frame.
@@ -153,7 +167,8 @@ impl<T: Clone> DemuxTable<T> {
 
     fn classify_cspf(&self, frame: &[u8]) -> DemuxResult<T> {
         let mut steps = 0;
-        for f in &self.filters {
+        for &(_, id) in &self.order {
+            let f = &self.filters[&id];
             let out = f.program.run(frame);
             steps += out.steps;
             if out.accepted {
@@ -178,8 +193,7 @@ impl<T: Clone> DemuxTable<T> {
         let (proto, dst_ip, dst_port, src_ip, src_port) = key;
         steps += 1;
         let exact: MpfKey = (proto, dst_ip, dst_port, Some((src_ip, src_port)));
-        if let Some(&i) = self.mpf_index.get(&exact) {
-            let f = &self.filters[i];
+        if let Some(f) = self.mpf_lookup(&exact) {
             return DemuxResult {
                 owner: Some((f.id, f.owner.clone())),
                 steps,
@@ -187,14 +201,22 @@ impl<T: Clone> DemuxTable<T> {
         }
         steps += 1;
         let wild: MpfKey = (proto, dst_ip, dst_port, None);
-        if let Some(&i) = self.mpf_index.get(&wild) {
-            let f = &self.filters[i];
+        if let Some(f) = self.mpf_lookup(&wild) {
             return DemuxResult {
                 owner: Some((f.id, f.owner.clone())),
                 steps,
             };
         }
         DemuxResult { owner: None, steps }
+    }
+
+    /// Resolves an MPF key to its winning filter. Filters sharing a key
+    /// necessarily share a specificity, so the earliest install (lowest
+    /// id) is the one a specificity-then-install scan would reach first.
+    fn mpf_lookup(&self, key: &MpfKey) -> Option<&Installed<T>> {
+        let ids = self.mpf_index.get(key)?;
+        let id = ids.first()?;
+        self.filters.get(id)
     }
 }
 

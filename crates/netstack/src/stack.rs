@@ -166,6 +166,11 @@ pub struct NetStack {
     reasm: Reassembler,
     ident: IpIdent,
     socks: HashMap<SockId, SockEntry>,
+    /// Sockets indexed by local port, so per-packet pcb lookup scans
+    /// one bucket instead of every socket. A socket's local port is
+    /// fixed at bind time (state transitions never change it), so the
+    /// index only needs maintenance at creation, bind, and removal.
+    by_port: HashMap<u16, Vec<SockId>>,
     /// Embryonic connections awaiting their listener: (listener, child).
     pending_children: Vec<(SockId, SockId)>,
     next_sock: u64,
@@ -200,6 +205,7 @@ impl NetStack {
             reasm: Reassembler::new(),
             ident: IpIdent::default(),
             socks: HashMap::new(),
+            by_port: HashMap::new(),
             pending_children: Vec::new(),
             next_sock: 1,
             iss_clock: 1,
@@ -308,9 +314,32 @@ impl NetStack {
         }
     }
 
+    fn sock_port(state: &SockState) -> u16 {
+        match state {
+            SockState::Udp(pcb) => pcb.local.port,
+            SockState::TcpUnbound { local } => local.port,
+            SockState::TcpListen { local, .. } => local.port,
+            SockState::Tcp(tcb) => tcb.local.port,
+        }
+    }
+
+    fn index_sock(&mut self, id: SockId, port: u16) {
+        self.by_port.entry(port).or_default().push(id);
+    }
+
+    fn unindex_sock(&mut self, id: SockId, port: u16) {
+        if let Some(bucket) = self.by_port.get_mut(&port) {
+            bucket.retain(|s| *s != id);
+            if bucket.is_empty() {
+                self.by_port.remove(&port);
+            }
+        }
+    }
+
     fn alloc_sock(&mut self, state: SockState) -> SockId {
         let id = SockId(self.next_sock);
         self.next_sock += 1;
+        let port = Self::sock_port(&state);
         self.socks.insert(
             id,
             SockEntry {
@@ -320,6 +349,7 @@ impl NetStack {
                 generation: 0,
             },
         );
+        self.index_sock(id, port);
         id
     }
 
@@ -348,17 +378,21 @@ impl NetStack {
     /// the operating system above this layer.
     pub fn bind(&mut self, sock: SockId, local: InetAddr) -> Result<(), SocketError> {
         let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let old_port = Self::sock_port(&e.state);
         match &mut e.state {
             SockState::Udp(pcb) => {
                 pcb.local = local;
-                Ok(())
             }
             SockState::TcpUnbound { local: l } => {
                 *l = local;
-                Ok(())
             }
-            _ => Err(SocketError::Invalid),
+            _ => return Err(SocketError::Invalid),
         }
+        if old_port != local.port {
+            self.unindex_sock(sock, old_port);
+            self.index_sock(sock, local.port);
+        }
+        Ok(())
     }
 
     /// The socket's local endpoint.
@@ -910,7 +944,7 @@ impl NetStack {
             SockState::TcpListen { listen, .. } => {
                 // Abort queued, un-accepted connections.
                 let pending = std::mem::take(&mut listen.queue);
-                self.socks.remove(&sock);
+                self.remove_sock(sim, sock);
                 for child in pending {
                     self.abort(sim, charge, child);
                 }
@@ -936,6 +970,7 @@ impl NetStack {
 
     fn remove_sock(&mut self, sim: &mut Sim, sock: SockId) {
         if let Some(e) = self.socks.remove(&sock) {
+            self.unindex_sock(sock, Self::sock_port(&e.state));
             for (_, h) in e.timers {
                 sim.cancel(h);
             }
@@ -954,6 +989,7 @@ impl NetStack {
     /// re-arms what it needs.
     pub fn export_session(&mut self, sim: &mut Sim, sock: SockId) -> Option<SessionState> {
         let mut e = self.socks.remove(&sock)?;
+        self.unindex_sock(sock, Self::sock_port(&e.state));
         for (_, h) in e.timers.drain() {
             sim.cancel(h);
         }
@@ -1235,13 +1271,20 @@ impl NetStack {
         let dst = InetAddr::new(ip.dst, udp.dst_port);
         let src = InetAddr::new(ip.src, udp.src_port);
 
-        // in_pcblookup: best-scoring pcb wins.
+        // in_pcblookup: best-scoring pcb wins. A pcb can only match if
+        // its local port equals the datagram's destination port, so the
+        // scan is confined to that port's bucket.
         let mut best: Option<(SockId, u32)> = None;
-        for (id, e) in &self.socks {
-            if let SockState::Udp(pcb) = &e.state {
-                if let Some(score) = pcb.match_score(dst, src) {
-                    if best.is_none_or(|(_, s)| score > s) {
-                        best = Some((*id, score));
+        if let Some(bucket) = self.by_port.get(&udp.dst_port) {
+            for id in bucket {
+                let Some(e) = self.socks.get(id) else {
+                    continue;
+                };
+                if let SockState::Udp(pcb) = &e.state {
+                    if let Some(score) = pcb.match_score(dst, src) {
+                        if best.is_none_or(|(_, s)| score > s) {
+                            best = Some((*id, score));
+                        }
                     }
                 }
             }
@@ -1304,13 +1347,20 @@ impl NetStack {
         let local = InetAddr::new(ip.dst, hdr.dst_port);
         let remote = InetAddr::new(ip.src, hdr.src_port);
 
-        // Exact connection match first.
+        // Exact connection match first. Connections and listeners both
+        // live in the destination port's bucket.
+        let bucket = self.by_port.get(&hdr.dst_port);
         let mut target: Option<SockId> = None;
-        for (id, e) in &self.socks {
-            if let SockState::Tcp(tcb) = &e.state {
-                if tcb.local == local && tcb.remote == remote && tcb.state != TcpState::Closed {
-                    target = Some(*id);
-                    break;
+        if let Some(bucket) = bucket {
+            for id in bucket {
+                let Some(e) = self.socks.get(id) else {
+                    continue;
+                };
+                if let SockState::Tcp(tcb) = &e.state {
+                    if tcb.local == local && tcb.remote == remote && tcb.state != TcpState::Closed {
+                        target = Some(*id);
+                        break;
+                    }
                 }
             }
         }
@@ -1319,13 +1369,18 @@ impl NetStack {
             if hdr.flags.contains(psd_wire::TcpFlags::SYN)
                 && !hdr.flags.contains(psd_wire::TcpFlags::ACK)
             {
-                for (id, e) in &self.socks {
-                    if let SockState::TcpListen { local: ll, .. } = &e.state {
-                        if ll.port == local.port
-                            && (ll.ip == Ipv4Addr::UNSPECIFIED || ll.ip == local.ip)
-                        {
-                            target = Some(*id);
-                            break;
+                if let Some(bucket) = self.by_port.get(&hdr.dst_port) {
+                    for id in bucket {
+                        let Some(e) = self.socks.get(id) else {
+                            continue;
+                        };
+                        if let SockState::TcpListen { local: ll, .. } = &e.state {
+                            if ll.port == local.port
+                                && (ll.ip == Ipv4Addr::UNSPECIFIED || ll.ip == local.ip)
+                            {
+                                target = Some(*id);
+                                break;
+                            }
                         }
                     }
                 }

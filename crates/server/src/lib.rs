@@ -22,10 +22,10 @@ pub mod netif;
 pub mod ports;
 
 pub use netif::{stack_sink, stack_sink_with_busy_report, KernelNetIf, UserNetIf};
-pub use ports::{PortNamespace, Proto};
+pub use ports::{PortNamespace, Proto, EPHEMERAL_FIRST, EPHEMERAL_LAST};
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 use std::rc::{Rc, Weak};
 
@@ -175,10 +175,8 @@ struct PendingAccept {
 }
 
 struct SelectWaiter {
-    id: u64,
     watch: Vec<(SessionId, bool, bool)>,
     done: SelectCallback,
-    fired: bool,
 }
 
 /// Counters for tests and benchmarks.
@@ -234,7 +232,21 @@ pub struct OsServer {
     pending_accepts: HashMap<SessionId, Vec<PendingAccept>>,
     notify: HashMap<SessionId, NotifyCallback>,
     arp_listeners: Vec<ArpInvalidation>,
-    select_waiters: Vec<SelectWaiter>,
+    /// Outstanding selects, keyed by waiter id. Ids are allocated in
+    /// registration order, so in-order iteration reproduces the old
+    /// first-registered-first-fired Vec behavior.
+    select_waiters: BTreeMap<u64, SelectWaiter>,
+    /// Waiter ids watching each session, so a status change evaluates
+    /// only the selects that could be affected instead of all of them.
+    select_watchers: HashMap<SessionId, BTreeSet<u64>>,
+    /// Waiters whose watched state may have changed since they were
+    /// last evaluated. `scan_selects` drains this set; every path that
+    /// changes session readiness repopulates it.
+    select_pending: BTreeSet<u64>,
+    /// Sessions (live or stubbed) indexed by bound local port, so the
+    /// per-packet stray/forward/reclaim checks scan one port's bucket
+    /// rather than every session.
+    by_local_port: HashMap<u16, BTreeSet<u64>>,
     next_select: u64,
     /// True while the server is crashed: no RPC is served and the
     /// in-memory session DB is gone until [`OsServer::restart`].
@@ -290,7 +302,10 @@ impl OsServer {
             pending_accepts: HashMap::new(),
             notify: HashMap::new(),
             arp_listeners: Vec::new(),
-            select_waiters: Vec::new(),
+            select_waiters: BTreeMap::new(),
+            select_watchers: HashMap::new(),
+            select_pending: BTreeSet::new(),
+            by_local_port: HashMap::new(),
             next_select: 1,
             down: false,
             stub_store: HashMap::new(),
@@ -302,30 +317,35 @@ impl OsServer {
 
         // Stray-TCP suppression for migrated sessions.
         let weak = Rc::downgrade(&server);
-        stack
-            .borrow_mut()
-            .set_stray_tcp_hook(Rc::new(RefCell::new(move |local, remote| {
+        stack.borrow_mut().set_stray_tcp_hook(Rc::new(RefCell::new(
+            move |local: InetAddr, remote: InetAddr| {
                 let Some(server) = weak.upgrade() else {
                     return false;
                 };
                 let mut s = server.borrow_mut();
                 // Stub records in `stub_store` also suppress: the
                 // suppression must survive a server crash, since the
-                // migrated session's data path is still live.
-                let migrated = s
-                    .sessions
-                    .values()
-                    .chain(s.stub_store.values())
-                    .any(|sess| {
-                        matches!(sess.home, Home::App)
-                            && sess.local == Some(local)
-                            && (sess.remote.is_none() || sess.remote == Some(remote))
-                    });
+                // migrated session's data path is still live. Both
+                // live and stubbed sessions stay in the port index.
+                let migrated = s.by_local_port.get(&local.port).is_some_and(|bucket| {
+                    bucket.iter().any(|&raw| {
+                        let sid = SessionId(raw);
+                        s.sessions
+                            .get(&sid)
+                            .or_else(|| s.stub_store.get(&sid))
+                            .is_some_and(|sess| {
+                                matches!(sess.home, Home::App)
+                                    && sess.local == Some(local)
+                                    && (sess.remote.is_none() || sess.remote == Some(remote))
+                            })
+                    })
+                });
                 if migrated {
                     s.stats.strays_suppressed += 1;
                 }
                 migrated
-            })));
+            },
+        )));
 
         // Forward exceptional datagrams (e.g. reassembled fragments) to
         // migrated UDP sessions through their endpoint sink — one of
@@ -400,6 +420,40 @@ impl OsServer {
         id
     }
 
+    /// Records `sid` in the local-port index. A session's port never
+    /// changes once bound, so inserts are idempotent.
+    fn index_local_port(&mut self, sid: SessionId, port: u16) {
+        self.by_local_port.entry(port).or_default().insert(sid.0);
+    }
+
+    fn unindex_local_port(&mut self, sid: SessionId, port: u16) {
+        if let Some(bucket) = self.by_local_port.get_mut(&port) {
+            bucket.remove(&sid.0);
+            if bucket.is_empty() {
+                self.by_local_port.remove(&port);
+            }
+        }
+    }
+
+    /// Queues every select watching `sid` for re-evaluation.
+    fn mark_session_watchers(&mut self, sid: SessionId) {
+        if let Some(watchers) = self.select_watchers.get(&sid) {
+            self.select_pending.extend(watchers.iter().copied());
+        }
+    }
+
+    fn unindex_waiter(&mut self, wid: u64, watch: &[(SessionId, bool, bool)]) {
+        for (sid, _, _) in watch {
+            if let Some(watchers) = self.select_watchers.get_mut(sid) {
+                watchers.remove(&wid);
+                if watchers.is_empty() {
+                    self.select_watchers.remove(sid);
+                }
+            }
+        }
+        self.select_pending.remove(&wid);
+    }
+
     // ----- Table 1: proxy_socket -----
 
     /// Creates a session managed by the operating system. Idempotent
@@ -465,6 +519,7 @@ impl OsServer {
             let sess = s.sessions.get_mut(&sid).expect("checked above");
             sess.local = Some(local);
         }
+        s.index_local_port(sid, port);
         match (proto, rx) {
             (Proto::Udp, Some(rx)) => {
                 // Migrate. A retry may find the first execution's
@@ -598,6 +653,7 @@ impl OsServer {
                 Ok(p) => {
                     let sess = s.sessions.get_mut(&sid).expect("exists");
                     sess.local = Some(InetAddr::new(host_ip, p));
+                    s.index_local_port(sid, p);
                 }
                 Err(e) => {
                     drop(s);
@@ -803,6 +859,7 @@ impl OsServer {
                 sess.local = Some(local);
                 sess.remote = Some(remote);
             }
+            s.index_local_port(child_sid, local.port);
             let cpu = s.stack.borrow().cpu();
             let now = sim.now();
             let mut ch = cpu.borrow_mut().begin(now);
@@ -905,6 +962,7 @@ impl OsServer {
         sess.endpoint = Some(endpoint);
         sess.local = Some(local);
         sess.remote = remote;
+        self.index_local_port(sid, local.port);
         SessionReply::Migrated(Box::new(MigratedSession {
             session: sid,
             state,
@@ -962,6 +1020,7 @@ impl OsServer {
             sess.local = Some(local);
             sess.remote = remote;
         }
+        self.index_local_port(sid, local.port);
         self.sock_to_session.insert(sock, sid);
         SessionReply::ServerResident {
             session: sid,
@@ -1075,6 +1134,7 @@ impl OsServer {
         };
         if let Some(local) = sess.local {
             s.ports.release(sess.proto, local.port);
+            s.unindex_local_port(sid, local.port);
         }
         if let Home::Server(sock) = sess.home {
             s.sock_to_session.remove(&sock);
@@ -1207,6 +1267,8 @@ impl OsServer {
             s.pending_connects.clear();
             s.pending_accepts.clear();
             s.select_waiters.clear();
+            s.select_watchers.clear();
+            s.select_pending.clear();
             s.notify.clear();
             s.token_ports.clear();
             s.token_sessions.clear();
@@ -1238,7 +1300,13 @@ impl OsServer {
         let sessions = std::mem::take(&mut s.sessions);
         for (sid, sess) in sessions {
             if matches!(sess.home, Home::App) {
+                // Stubbed sessions stay in the port index: the stray
+                // suppression keyed on them must survive the crash.
                 s.stub_store.insert(sid, sess);
+            } else {
+                if let Some(local) = sess.local {
+                    s.unindex_local_port(sid, local.port);
+                }
             }
         }
         s.sock_to_session.clear();
@@ -1341,6 +1409,7 @@ impl OsServer {
             let port = self.ports.claim(Proto::Udp, 0)?;
             let local = InetAddr::new(self.host_ip, port);
             self.sessions.get_mut(&sid).expect("exists").local = Some(local);
+            self.index_local_port(sid, port);
         }
         let sock = match self.resident_sock(sid) {
             Ok(s) => s,
@@ -1469,6 +1538,7 @@ impl OsServer {
                 sess.app_readable = readable;
                 sess.app_writable = writable;
             }
+            s.mark_session_watchers(sid);
         }
         OsServer::scan_selects(this, sim);
     }
@@ -1490,12 +1560,11 @@ impl OsServer {
             rpc_control_charge(&s.costs, charge, 64);
             let id = s.next_select;
             s.next_select += 1;
-            s.select_waiters.push(SelectWaiter {
-                id,
-                watch,
-                done,
-                fired: false,
-            });
+            for (sid, _, _) in &watch {
+                s.select_watchers.entry(*sid).or_default().insert(id);
+            }
+            s.select_waiters.insert(id, SelectWaiter { watch, done });
+            s.select_pending.insert(id);
             id
         };
         if let Some(t) = timeout {
@@ -1507,13 +1576,13 @@ impl OsServer {
                 // completed (and been removed) in the meantime.
                 let waiter = {
                     let mut s = server.borrow_mut();
-                    match s.select_waiters.iter().position(|w| w.id == waiter_id) {
-                        Some(idx) if !s.select_waiters[idx].fired => {
-                            let ready = s.ready_of(&s.select_waiters[idx].watch);
-                            let w = s.select_waiters.remove(idx);
+                    match s.select_waiters.remove(&waiter_id) {
+                        Some(w) => {
+                            let ready = s.ready_of(&w.watch);
+                            s.unindex_waiter(waiter_id, &w.watch);
                             Some((w.done, ready))
                         }
-                        _ => None,
+                        None => None,
                     }
                 };
                 if let Some((done, ready)) = waiter {
@@ -1548,24 +1617,32 @@ impl OsServer {
         ready
     }
 
+    /// Fires every ready select, lowest waiter id first (registration
+    /// order, as the old full scan did). Only waiters queued in
+    /// `select_pending` are evaluated: every path that changes a
+    /// session's readiness queues that session's watchers, so a waiter
+    /// outside the set cannot have become ready since it was last
+    /// found not-ready.
     fn scan_selects(this: &ServerHandle, sim: &mut Sim) {
         loop {
             let fired = {
                 let mut s = this.borrow_mut();
                 let mut hit = None;
-                for (i, w) in s.select_waiters.iter().enumerate() {
-                    if w.fired {
+                while let Some(&wid) = s.select_pending.iter().next() {
+                    s.select_pending.remove(&wid);
+                    let Some(w) = s.select_waiters.get(&wid) else {
                         continue;
-                    }
+                    };
                     let ready = s.ready_of(&w.watch);
                     if !ready.is_empty() {
-                        hit = Some((i, ready));
+                        hit = Some((wid, ready));
                         break;
                     }
                 }
                 match hit {
-                    Some((i, ready)) => {
-                        let w = s.select_waiters.remove(i);
+                    Some((wid, ready)) => {
+                        let w = s.select_waiters.remove(&wid).expect("present");
+                        s.unindex_waiter(wid, &w.watch);
                         Some((w.done, ready))
                     }
                     None => None,
@@ -1581,6 +1658,15 @@ impl OsServer {
     // ----- internal event plumbing -----
 
     fn on_stack_event(this: &ServerHandle, sim: &mut Sim, sock: SockId, ev: SockEvent) {
+        // Whatever this event did, it can only have changed the
+        // readiness of the session owning this socket: queue its
+        // watchers for the scans below.
+        {
+            let mut s = this.borrow_mut();
+            if let Some(&sid) = s.sock_to_session.get(&sock) {
+                s.mark_session_watchers(sid);
+            }
+        }
         // Connect completion?
         let pending = this.borrow_mut().pending_connects.remove(&sock);
         if let Some(p) = pending {
@@ -1691,12 +1777,18 @@ impl OsServer {
         // as a synthesized UDP packet.
         let target = {
             let s = this.borrow();
-            s.sessions.iter().find_map(|(sid, sess)| {
-                (matches!(sess.home, Home::App)
-                    && sess.proto == Proto::Udp
-                    && sess.local.map(|l| l.port) == Some(dst.port)
-                    && (sess.remote.is_none() || sess.remote == Some(src)))
-                .then_some(*sid)
+            // Earliest-created matching session wins (the bucket is in
+            // ascending session-id order).
+            s.by_local_port.get(&dst.port).and_then(|bucket| {
+                bucket.iter().find_map(|&raw| {
+                    let sid = SessionId(raw);
+                    let sess = s.sessions.get(&sid)?;
+                    (matches!(sess.home, Home::App)
+                        && sess.proto == Proto::Udp
+                        && sess.local.map(|l| l.port) == Some(dst.port)
+                        && (sess.remote.is_none() || sess.remote == Some(src)))
+                    .then_some(sid)
+                })
             })
         };
         let Some(sid) = target else {
@@ -1763,11 +1855,15 @@ impl OsServer {
     ) -> bool {
         let claimed = {
             let s = this.borrow();
-            s.sessions.values().any(|sess| {
-                matches!(sess.home, Home::Server(_))
-                    && sess.proto == Proto::Udp
-                    && sess.local.map(|l| l.port) == Some(dst.port)
-                    && (sess.remote.is_none() || sess.remote == Some(src))
+            s.by_local_port.get(&dst.port).is_some_and(|bucket| {
+                bucket.iter().any(|&raw| {
+                    s.sessions.get(&SessionId(raw)).is_some_and(|sess| {
+                        matches!(sess.home, Home::Server(_))
+                            && sess.proto == Proto::Udp
+                            && sess.local.map(|l| l.port) == Some(dst.port)
+                            && (sess.remote.is_none() || sess.remote == Some(src))
+                    })
+                })
             })
         };
         if !claimed {

@@ -212,8 +212,11 @@ fn chaos_tcp_client(
     None
 }
 
-/// One full chaos run: returns the deterministic digest.
-fn run_chaos(config: SystemConfig, seed: u64) -> String {
+/// One full chaos run: returns the deterministic digest. `ballast` is
+/// the number of extra live UDP sessions the client host carries
+/// through the whole schedule (0 for the classic two-session matrix;
+/// the high-session-count configuration uses Table 5 scale).
+fn run_chaos(config: SystemConfig, seed: u64, ballast: usize) -> String {
     let mut bed = TestBed::new(config, Platform::DecStation5000_200, seed);
     let censuses = bed.attach_census();
     let plane = bed.attach_fault_plane();
@@ -234,6 +237,16 @@ fn run_chaos(config: SystemConfig, seed: u64) -> String {
 
     let tcp_echoed = chaos_tcp_echo(&mut bed, &apps, &server_app, 80);
     chaos_udp_echo(&mut bed, &apps, &server_app, 53);
+
+    // --- ballast: a high session count riding under the same faults ---
+    let mut ballast_fds = Vec::with_capacity(ballast);
+    for i in 0..ballast {
+        if let Some(fd) =
+            bind_with_retry(&mut bed, &apps, &client_app, Proto::Udp, 30_000 + i as u16)
+        {
+            ballast_fds.push(fd);
+        }
+    }
 
     // --- UDP workload ---
     let udp_fd = bind_with_retry(&mut bed, &apps, &client_app, Proto::Udp, 4000);
@@ -313,6 +326,9 @@ fn run_chaos(config: SystemConfig, seed: u64) -> String {
     if let Some(fd) = udp_fd {
         AppLib::close(&client_app, &mut bed.sim, fd);
     }
+    for fd in &ballast_fds {
+        AppLib::close(&client_app, &mut bed.sim, *fd);
+    }
     // Drain until the client host's sessions are gone (TCP holds the
     // session through FIN/TIME_WAIT) or a generous bound passes.
     for _ in 0..1200 {
@@ -362,12 +378,13 @@ fn run_chaos(config: SystemConfig, seed: u64) -> String {
     let _ = writeln!(d, "config={} seed={}", config.label(), seed);
     let _ = writeln!(
         d,
-        "udp_replies={} tcp_sent={} tcp_replies={} tcp_echoed={} connected={}",
+        "udp_replies={} tcp_sent={} tcp_replies={} tcp_echoed={} connected={} ballast={}",
         *udp_got.borrow(),
         tcp_sent,
         client.as_ref().map_or(0, |c| c.replies.borrow().len()),
         *tcp_echoed.borrow(),
         client.as_ref().is_some_and(|c| *c.connected.borrow()),
+        ballast_fds.len(),
     );
     for (i, host) in bed.hosts.iter().enumerate() {
         if let Some(os) = &host.server {
@@ -395,8 +412,8 @@ fn run_chaos(config: SystemConfig, seed: u64) -> String {
 fn chaos_matrix(config: SystemConfig) {
     let mut injected_total = 0u64;
     for seed in SEEDS {
-        let d1 = run_chaos(config, seed);
-        let d2 = run_chaos(config, seed);
+        let d1 = run_chaos(config, seed, 0);
+        let d2 = run_chaos(config, seed, 0);
         assert_eq!(
             d1,
             d2,
@@ -430,4 +447,36 @@ fn chaos_library_ipc_placement() {
 #[test]
 fn chaos_library_shm_placement() {
     chaos_matrix(SystemConfig::LibraryShm);
+}
+
+/// Table 5 scale under chaos: one configuration carries a thousand
+/// live ballast sessions through the full fault schedule (all seven
+/// sites armed). The exactly-once, no-leak and same-seed-digest
+/// invariants must hold unchanged while the session table, port
+/// namespace, and kernel filter table are three orders of magnitude
+/// fuller than in the classic matrix.
+#[test]
+fn chaos_high_session_count() {
+    let mut injected_total = 0u64;
+    for seed in [3u64, 21] {
+        let d1 = run_chaos(SystemConfig::LibraryShm, seed, 1024);
+        let d2 = run_chaos(SystemConfig::LibraryShm, seed, 1024);
+        assert_eq!(
+            d1, d2,
+            "high-session-count chaos run is not reproducible (seed {seed})"
+        );
+        assert!(
+            d1.contains("ballast=1024"),
+            "the fault schedule must not prevent the ballast from standing up"
+        );
+        let line = d1
+            .lines()
+            .find(|l| l.starts_with("injected="))
+            .expect("digest has an injection count");
+        injected_total += line["injected=".len()..].parse::<u64>().unwrap();
+    }
+    assert!(
+        injected_total > 0,
+        "the high-session-count chaos runs never injected a fault"
+    );
 }

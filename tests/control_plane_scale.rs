@@ -1,0 +1,252 @@
+//! Control-plane behavior at Table 5 session counts (§3.2): the
+//! namespace, wait, and cleanup machinery must stay correct — not just
+//! fast — with thousands of live sessions.
+
+mod common;
+
+use common::run_until;
+use psd::core::{AppLib, Fd, SelectOutcome};
+use psd::filter::DemuxStrategy;
+use psd::netstack::{InetAddr, SockEvent, SocketError};
+use psd::server::{Proto, EPHEMERAL_FIRST, EPHEMERAL_LAST};
+use psd::sim::{Platform, SimTime};
+use psd::systems::{SystemConfig, TestBed};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+fn lib_bed(seed: u64) -> TestBed {
+    let bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, seed);
+    // MPF: thousands of sessions must not make every delivered frame
+    // scan thousands of programs while the test drives traffic.
+    for h in &bed.hosts {
+        h.kernel.borrow_mut().set_demux_strategy(DemuxStrategy::Mpf);
+    }
+    bed
+}
+
+/// A `select` across two thousand application-managed descriptors
+/// wakes with exactly the descriptors that are ready — no misses, no
+/// strays — and, per §3.2, never involves the server when every
+/// watched descriptor is application-managed.
+#[test]
+fn select_over_thousands_wakes_exactly_the_ready_set() {
+    const SESSIONS: u16 = 2000;
+    const BASE: u16 = 10_000;
+    let mut bed = lib_bed(811);
+    let rx_app = bed.hosts[1].spawn_app();
+    let mut fds: Vec<Fd> = Vec::with_capacity(SESSIONS as usize);
+    for i in 0..SESSIONS {
+        let fd = AppLib::socket(&rx_app, &mut bed.sim, Proto::Udp);
+        AppLib::bind(&rx_app, &mut bed.sim, fd, BASE + i).expect("bind");
+        fds.push(fd);
+    }
+    bed.settle();
+
+    let tx_app = bed.hosts[0].spawn_app();
+    let tx_fd = AppLib::socket(&tx_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&tx_app, &mut bed.sim, tx_fd, 3000).expect("tx bind");
+    bed.settle();
+    // Warm ARP so trigger datagrams cannot drop on a cold cache.
+    AppLib::sendto(
+        &tx_app,
+        &mut bed.sim,
+        tx_fd,
+        b"warm",
+        Some(InetAddr::new(bed.hosts[1].ip, 9)),
+    )
+    .expect("warm");
+    bed.settle();
+
+    let rpcs_before = rx_app.borrow().stats.control_rpcs;
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &rx_app,
+        &mut bed.sim,
+        fds.clone(),
+        vec![],
+        Some(SimTime::from_secs(30)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    assert!(outcome.borrow().is_none(), "nothing is ready yet");
+
+    // Trigger five of the two thousand.
+    let hit_ports = [BASE + 7, BASE + 777, BASE + 1111, BASE + 1500, BASE + 1999];
+    let hit_fds: BTreeSet<Fd> = hit_ports.iter().map(|p| fds[(p - BASE) as usize]).collect();
+    for p in hit_ports {
+        AppLib::sendto(
+            &tx_app,
+            &mut bed.sim,
+            tx_fd,
+            b"trigger",
+            Some(InetAddr::new(bed.hosts[1].ip, p)),
+        )
+        .expect("trigger");
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(30), || {
+        outcome.borrow().is_some()
+    }));
+    let first = outcome.borrow().clone().unwrap();
+    assert!(!first.timed_out);
+    assert!(!first.readable.is_empty());
+    for fd in &first.readable {
+        assert!(
+            hit_fds.contains(fd),
+            "woke on a descriptor that got no data: {fd:?}"
+        );
+    }
+    assert!(first.writable.is_empty());
+
+    // Once everything has landed, an immediate select reports exactly
+    // the triggered five out of the two thousand watched.
+    bed.settle();
+    let outcome: Rc<RefCell<Option<SelectOutcome>>> = Rc::new(RefCell::new(None));
+    let o2 = outcome.clone();
+    AppLib::select(
+        &rx_app,
+        &mut bed.sim,
+        fds.clone(),
+        vec![],
+        Some(SimTime::from_secs(1)),
+        Box::new(move |_sim, o| *o2.borrow_mut() = Some(o)),
+    );
+    assert!(run_until(&mut bed, SimTime::from_secs(5), || {
+        outcome.borrow().is_some()
+    }));
+    let full = outcome.borrow().clone().unwrap();
+    let ready: BTreeSet<Fd> = full.readable.iter().copied().collect();
+    assert_eq!(ready, hit_fds, "exactly the ready set, nothing else");
+    assert!(!full.timed_out);
+
+    // "In cases where all descriptors are managed by the application,
+    // the operating system is not involved" — at any scale.
+    assert_eq!(
+        rx_app.borrow().stats.control_rpcs,
+        rpcs_before,
+        "local-only selects must not call the server"
+    );
+}
+
+/// Driving the ephemeral allocator to exhaustion through the real
+/// connect path: every port in the BSD range is handed out exactly
+/// once, the first allocation past the end fails with the typed
+/// `NoBufs` error (not a panic, not a wrong port), and releasing one
+/// port makes exactly that port allocatable again.
+#[test]
+fn ephemeral_exhaustion_is_typed_and_ports_are_reclaimed() {
+    let mut bed = lib_bed(821);
+    let app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 7777);
+    let span = (EPHEMERAL_LAST - EPHEMERAL_FIRST) as usize + 1;
+    let server = bed.hosts[0].server.as_ref().unwrap().clone();
+    let already = server.borrow().ports().len();
+
+    // Connect-without-bind claims one ephemeral UDP port per session.
+    // (The migrated session's local address is visible once the
+    // migration events have run, hence the settle before reading it.)
+    let mut fds = Vec::with_capacity(span);
+    for _ in 0..span - already {
+        let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+        AppLib::connect(&app, &mut bed.sim, fd, dst).expect("connect");
+        fds.push((fd, 0u16));
+    }
+    bed.settle();
+    let mut seen = BTreeSet::new();
+    for (fd, port) in &mut fds {
+        *port = app.borrow().local_addr(*fd).expect("migrated").port;
+        assert!((EPHEMERAL_FIRST..=EPHEMERAL_LAST).contains(port));
+        assert!(seen.insert(*port), "ephemeral port {port} handed out twice");
+    }
+    assert_eq!(server.borrow().ports().len(), span, "range fully claimed");
+
+    // One more is a typed failure. The library connect call itself is
+    // asynchronous (it returns Ok and reports the RPC outcome through
+    // the descriptor's event handler), so the error arrives as a
+    // `SockEvent::Error` — typed, not a panic, not a wrong port.
+    let extra = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+    let err: Rc<RefCell<Option<SocketError>>> = Rc::new(RefCell::new(None));
+    let e2 = err.clone();
+    let handler: psd::core::FdEventFn = Rc::new(RefCell::new(
+        move |_sim: &mut psd::sim::Sim, _fd: Fd, ev: SockEvent| {
+            if let SockEvent::Error(e) = ev {
+                *e2.borrow_mut() = Some(e);
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(extra, handler);
+    AppLib::connect(&app, &mut bed.sim, extra, dst).expect("async connect call");
+    bed.settle();
+    assert_eq!(
+        *err.borrow(),
+        Some(SocketError::NoBufs),
+        "exhaustion must surface as NoBufs"
+    );
+
+    // Releasing one port un-wedges exactly that port.
+    let (victim_fd, victim_port) = fds[fds.len() / 2];
+    AppLib::close(&app, &mut bed.sim, victim_fd);
+    bed.settle();
+    assert!(
+        !server.borrow().ports().in_use(Proto::Udp, victim_port),
+        "close must release the session's ephemeral port"
+    );
+    AppLib::connect(&app, &mut bed.sim, extra, dst).expect("reclaim after release");
+    bed.settle();
+    assert_eq!(
+        app.borrow().local_addr(extra).expect("migrated").port,
+        victim_port,
+        "the released port is the only free one, so it must be reused"
+    );
+}
+
+/// Abrupt death of a process holding a thousand live sessions (mixed
+/// wildcard and connected) leaks nothing: the server's session table,
+/// the port namespace, and the kernel filter table all return to their
+/// pre-process state (§3.2 "unexpected shutdown").
+#[test]
+fn process_death_with_1k_sessions_leaks_nothing() {
+    let mut bed = lib_bed(831);
+    let host = &bed.hosts[0];
+    let server = host.server.as_ref().unwrap().clone();
+    let kernel = host.kernel.clone();
+    let base_sessions = server.borrow().session_count();
+    let base_ports = server.borrow().ports().len();
+    let base_filters = kernel.borrow().filters_installed();
+
+    let app = bed.hosts[0].spawn_app();
+    let dst = InetAddr::new(bed.hosts[1].ip, 7777);
+    for i in 0..1000u16 {
+        let fd = AppLib::socket(&app, &mut bed.sim, Proto::Udp);
+        if i % 4 == 3 {
+            AppLib::connect(&app, &mut bed.sim, fd, dst).expect("connect");
+        } else {
+            AppLib::bind(&app, &mut bed.sim, fd, 20_000 + i).expect("bind");
+        }
+    }
+    bed.settle();
+    assert!(
+        server.borrow().session_count() >= base_sessions + 1000,
+        "sessions stood up"
+    );
+    assert!(server.borrow().ports().len() >= base_ports + 1000);
+    assert!(kernel.borrow().filters_installed() >= base_filters + 1000);
+
+    AppLib::die(&app, &mut bed.sim);
+    bed.settle();
+    assert_eq!(
+        server.borrow().session_count(),
+        base_sessions,
+        "session table must return to its pre-process size"
+    );
+    assert_eq!(
+        server.borrow().ports().len(),
+        base_ports,
+        "every port claim must be released"
+    );
+    assert_eq!(
+        kernel.borrow().filters_installed(),
+        base_filters,
+        "every session filter must be uninstalled"
+    );
+}
