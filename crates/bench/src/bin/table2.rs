@@ -12,6 +12,15 @@
 //! attaches an (empty) fault plane to every run — no site is scripted
 //! or armed, so the plane only counts visits and the output must be
 //! byte-identical to a run without it (CI asserts this).
+//!
+//! `--trace-out <path>` writes a Chrome trace-event JSON file (load it
+//! at `chrome://tracing` or in Perfetto) covering every latency run,
+//! one trace process per table row. `--stages` prints per-stage
+//! latency percentiles (p50/p90/p99) for each row's latency runs.
+//! `--census-json <path>` writes the per-row census snapshots as JSON.
+//! Tracing charges no virtual time and consumes no randomness, so the
+//! table itself is byte-identical with or without these flags, and the
+//! trace file is byte-identical across reruns (CI asserts both).
 
 use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
 use psd_bench::{protolat, ttcp, ApiStyle};
@@ -19,11 +28,24 @@ use psd_server::Proto;
 use psd_sim::Platform;
 use psd_systems::TestBed;
 
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let want_census = args.iter().any(|a| a == "--census");
     let want_faults = args.iter().any(|a| a == "--faults");
+    let want_stages = args.iter().any(|a| a == "--stages");
+    let trace_out = flag_value(&args, "--trace-out");
+    let census_json = flag_value(&args, "--census-json");
+    let tracing = trace_out.is_some() || want_stages;
+    let mut trace_events = String::new();
+    let mut census_docs: Vec<String> = Vec::new();
+    let mut row_idx: u64 = 0;
     let (bytes, rounds) = if quick {
         (2 << 20, 50)
     } else {
@@ -46,9 +68,13 @@ fn main() {
         );
         for row in table2_for(platform) {
             let config = row.config;
+            // One tracer per table row, attached to the latency beds
+            // only (the ttcp run would dominate the trace with bulk
+            // data packets).
+            let row_tracer = tracing.then(psd_sim::Tracer::shared);
             // Throughput.
             let mut bed = TestBed::new(config, platform, 42);
-            let censuses = want_census.then(|| bed.attach_census());
+            let censuses = (want_census || census_json.is_some()).then(|| bed.attach_census());
             if want_faults {
                 let _plane = bed.attach_fault_plane();
             }
@@ -70,6 +96,9 @@ fn main() {
                 if want_faults {
                     let _plane = bed.attach_fault_plane();
                 }
+                if let Some(t) = &row_tracer {
+                    bed.attach_tracer_handle(t);
+                }
                 let lat = protolat(&mut bed, Proto::Tcp, size, 20, rounds, ApiStyle::Classic);
                 print!(
                     "  {:5.2}({:5.2})",
@@ -89,6 +118,9 @@ fn main() {
                 if want_faults {
                     let _plane = bed.attach_fault_plane();
                 }
+                if let Some(t) = &row_tracer {
+                    bed.attach_tracer_handle(t);
+                }
                 let lat = protolat(&mut bed, Proto::Udp, size, 20, rounds, ApiStyle::Classic);
                 print!(
                     "  {:5.2}({:5.2})",
@@ -97,15 +129,45 @@ fn main() {
                 );
             }
             println!("\n");
-            if let Some(censuses) = censuses {
-                for (i, census) in censuses.iter().enumerate() {
-                    println!("  census host{i} (ttcp run):");
-                    for line in census.borrow().snapshot().lines() {
-                        println!("    {line}");
+            if let Some(t) = &row_tracer {
+                let violations = t.borrow().check_invariants();
+                assert!(violations.is_empty(), "trace invariants: {violations:?}");
+                if want_stages {
+                    println!("  stage latencies (latency runs, all sizes pooled):");
+                    for line in t.borrow().stage_report().lines() {
+                        println!("  {line}");
                     }
+                    println!();
                 }
-                println!();
+                if trace_out.is_some() {
+                    let label = format!("{} | {}", platform.label(), config.label());
+                    t.borrow().chrome_events(row_idx, &label, &mut trace_events);
+                }
             }
+            if let Some(censuses) = &censuses {
+                if want_census {
+                    for (i, census) in censuses.iter().enumerate() {
+                        println!("  census host{i} (ttcp run):");
+                        for line in census.borrow().snapshot().lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    println!();
+                }
+                if census_json.is_some() {
+                    let hosts: Vec<String> = censuses
+                        .iter()
+                        .map(|c| c.borrow().snapshot_json())
+                        .collect();
+                    census_docs.push(format!(
+                        "{{\"platform\":\"{}\",\"config\":\"{}\",\"hosts\":[{}]}}",
+                        platform.label(),
+                        config.label(),
+                        hosts.join(",")
+                    ));
+                }
+            }
+            row_idx += 1;
         }
         // The §4.1 derived claims.
         println!("-- derived shape checks ({}) --", platform.label());
@@ -143,5 +205,16 @@ fn main() {
         }
         let _ = configs;
         println!();
+    }
+
+    if let Some(path) = &trace_out {
+        let doc = psd_sim::chrome_trace_document(&trace_events);
+        std::fs::write(path, doc).expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &census_json {
+        let doc = format!("{{\"rows\":[{}]}}\n", census_docs.join(","));
+        std::fs::write(path, doc).expect("write census json");
+        eprintln!("wrote census snapshot to {path}");
     }
 }

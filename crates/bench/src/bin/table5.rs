@@ -9,13 +9,17 @@
 //! per-packet filter cost, the control-RPC latency at full load, and
 //! the virtual-time cost per delivered packet.
 //!
-//! Usage: `cargo run --release -p psd-bench --bin table5 [--quick] [--census]`
+//! Usage: `cargo run --release -p psd-bench --bin table5 [--quick] [--census]
+//! [--trace-out <path>] [--census-json <path>]`
 //!
 //! Everything on stdout is deterministic: two runs with the same
 //! arguments are byte-identical (census included). Wall-clock progress
-//! goes to stderr only.
+//! goes to stderr only. `--trace-out` writes a Chrome trace-event JSON
+//! covering every run (one trace process per `(config, strategy, N)`
+//! cell); `--census-json` writes the per-cell receive-host census as
+//! JSON. Neither flag changes the table output.
 
-use psd_bench::workload::{session_scaling, ScaleReport, WorkloadSpec};
+use psd_bench::workload::{session_scaling_with, ScaleReport, WorkloadSpec};
 use psd_filter::DemuxStrategy;
 use psd_sim::Platform;
 use psd_systems::SystemConfig;
@@ -29,9 +33,21 @@ fn strategy_label(s: DemuxStrategy) -> &'static str {
     }
 }
 
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let want_census = std::env::args().any(|a| a == "--census");
+    let trace_out = flag_value("--trace-out");
+    let census_json = flag_value("--census-json");
+    let mut trace_events = String::new();
+    let mut census_docs: Vec<String> = Vec::new();
+    let mut cell_idx: u64 = 0;
     let (scales, packets): (&[usize], usize) = if quick {
         (&[16, 128], 256)
     } else {
@@ -64,7 +80,15 @@ fn main() {
             let mut rows = Vec::new();
             for &n in scales {
                 let spec = WorkloadSpec::at_scale(n, packets, SEED);
-                let r = session_scaling(config, platform, strategy, &spec, want_census);
+                let tracer = trace_out.is_some().then(psd_sim::Tracer::shared);
+                let r = session_scaling_with(
+                    config,
+                    platform,
+                    strategy,
+                    &spec,
+                    want_census || census_json.is_some(),
+                    tracer.as_ref(),
+                );
                 println!(
                     "  {:>6}  {:>7}  {:>9.1}  {:>9.0}  {:>11.1}  {:>12.2}",
                     r.sessions,
@@ -74,13 +98,39 @@ fn main() {
                     r.bind_rpc.as_nanos() as f64 / 1000.0,
                     r.setup.as_nanos() as f64 / 1e6,
                 );
-                if let Some(c) = r.census {
-                    println!(
-                        "          census(rx): filter-runs={} body-copies={} \
-                         crossings={} wakeups={}",
-                        c.filter_runs, c.body_copies, c.crossings, c.wakeups
-                    );
+                if want_census {
+                    if let Some(c) = r.census {
+                        println!(
+                            "          census(rx): filter-runs={} body-copies={} \
+                             crossings={} wakeups={}",
+                            c.filter_runs, c.body_copies, c.crossings, c.wakeups
+                        );
+                    }
                 }
+                if let Some(t) = &tracer {
+                    let violations = t.borrow().check_invariants();
+                    assert!(violations.is_empty(), "trace invariants: {violations:?}");
+                    let label =
+                        format!("{} [{}] N={}", config.label(), strategy_label(strategy), n);
+                    t.borrow()
+                        .chrome_events(cell_idx, &label, &mut trace_events);
+                }
+                if census_json.is_some() {
+                    let c = r.census.expect("census attached for --census-json");
+                    census_docs.push(format!(
+                        "{{\"config\":\"{}\",\"strategy\":\"{}\",\"sessions\":{},\
+                         \"filter_runs\":{},\"body_copies\":{},\"crossings\":{},\
+                         \"wakeups\":{}}}",
+                        config.label(),
+                        strategy_label(strategy),
+                        n,
+                        c.filter_runs,
+                        c.body_copies,
+                        c.crossings,
+                        c.wakeups
+                    ));
+                }
+                cell_idx += 1;
                 eprintln!(
                     "[wall] {} [{}] N={}: {:.0} ms ({:.0} sim-pkts/s)",
                     config.label(),
@@ -163,5 +213,16 @@ fn main() {
             per_last / 1000.0,
             if ok { "PASS" } else { "FAIL" }
         );
+    }
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, psd_sim::chrome_trace_document(&trace_events))
+            .expect("write trace file");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &census_json {
+        let doc = format!("{{\"cells\":[{}]}}\n", census_docs.join(","));
+        std::fs::write(path, doc).expect("write census json");
+        eprintln!("wrote census snapshot to {path}");
     }
 }

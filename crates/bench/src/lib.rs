@@ -14,5 +14,5 @@ pub mod tables;
 pub mod workload;
 pub mod workloads;
 
-pub use workload::{session_scaling, ScaleReport, WorkloadSpec};
+pub use workload::{session_scaling, session_scaling_with, ScaleReport, WorkloadSpec};
 pub use workloads::{protolat, ttcp, ApiStyle, ProtolatResult, TtcpResult};

@@ -129,6 +129,20 @@ pub fn session_scaling(
     spec: &WorkloadSpec,
     want_census: bool,
 ) -> ScaleReport {
+    session_scaling_with(config, platform, strategy, spec, want_census, None)
+}
+
+/// [`session_scaling`] with an optional packet-lifecycle tracer
+/// attached to the testbed for the whole run. Tracing never charges
+/// virtual time, so the report is identical with or without it.
+pub fn session_scaling_with(
+    config: SystemConfig,
+    platform: Platform,
+    strategy: DemuxStrategy,
+    spec: &WorkloadSpec,
+    want_census: bool,
+    tracer: Option<&psd_sim::TraceHandle>,
+) -> ScaleReport {
     let wall0 = Instant::now();
     let mut bed = TestBed::new(config, platform, spec.seed);
     // The strategy must be chosen while the filter table is empty.
@@ -136,6 +150,9 @@ pub fn session_scaling(
         h.kernel.borrow_mut().set_demux_strategy(strategy);
     }
     let censuses = want_census.then(|| bed.attach_census());
+    if let Some(t) = tracer {
+        bed.attach_tracer_handle(t);
+    }
     let mut rng = Rng::new(spec.seed ^ 0x5EED_5CA1_E000_0001);
 
     // --- Sender: a few fixed source sockets. ---

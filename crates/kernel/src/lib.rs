@@ -33,8 +33,20 @@ use std::rc::Rc;
 
 use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
 use psd_netdev::{Ethernet, EthernetHandle, Station};
-use psd_sim::{Charge, CostModel, Cpu, Domain, FaultSite, Layer, OpKind, Sim, SimTime};
+use psd_sim::{
+    Charge, CostModel, Cpu, Domain, DropCounters, DropReason, FaultSite, Layer, OpKind, Sim,
+    SimTime, Stage, TraceHandle, TraceId,
+};
 use psd_wire::EtherAddr;
+
+/// Captures the tracing context of a charge — the tracer and the packet
+/// currently being processed — so an asynchronous continuation (a
+/// delivery closure, a deferred wakeup decision) can re-establish it.
+fn trace_ctx(charge: &Charge) -> (Option<TraceHandle>, Option<TraceId>) {
+    let tracer = charge.trace_handle();
+    let id = tracer.as_ref().and_then(|t| t.borrow().current());
+    (tracer, id)
+}
 
 /// A recoverable kernel-interface failure. Fault paths report these
 /// instead of panicking so injected faults surface as errors the
@@ -147,6 +159,11 @@ pub struct KernelStats {
     /// `rx_frames` gives the per-packet demux cost the Table 5 scaling
     /// benchmark reports.
     pub filter_steps: u64,
+    /// Always-on per-reason drop counters for every frame the kernel
+    /// interface discards (typed mirror of the drop sites above; the
+    /// same taxonomy terminates packet traces when a tracer is
+    /// attached).
+    pub drops: DropCounters,
 }
 
 /// The simulated kernel for one host.
@@ -398,6 +415,10 @@ impl Kernel {
                 charge.note(OpKind::FilterRun, Domain::Kernel, Layer::EtherOutput);
                 if !out.accepted {
                     k.stats.tx_rejected += 1;
+                    k.stats.drops.note(DropReason::TxLimited);
+                    // Census-only: a transmit attempted while a received
+                    // packet is current must not terminate that packet.
+                    charge.count_drop(DropReason::TxLimited, Domain::Kernel);
                     return;
                 }
             }
@@ -449,6 +470,11 @@ impl Kernel {
                     // charge and handoff): the frame is dropped like any
                     // other wire loss, and the protocols recover.
                     k.stats.tx_disconnected += 1;
+                    k.stats.drops.note(DropReason::TxDisconnected);
+                    if let Some(c) = k.cpu.borrow().census() {
+                        c.borrow_mut()
+                            .note_drop(DropReason::TxDisconnected, Domain::Kernel);
+                    }
                     return;
                 };
                 if from_user {
@@ -472,6 +498,7 @@ impl Station for Kernel {
         self.stats.rx_frames += 1;
         let mut charge = self.cpu.borrow_mut().begin(sim.now());
         // Field the interrupt.
+        charge.trace_span_start(Stage::NicRx);
         charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_dispatch);
         charge.note(OpKind::Interrupt, Domain::Kernel, Layer::DeviceIntrRead);
         if self.costs.intr_penalty > 0 {
@@ -483,6 +510,9 @@ impl Station for Kernel {
         // it as ordinary loss and recover by retransmission.
         if charge.fault(FaultSite::NicRx) {
             self.stats.rx_faulted += 1;
+            self.stats.drops.note(DropReason::FaultInjected);
+            charge.trace_event("fault:nic-rx");
+            charge.trace_drop(DropReason::FaultInjected, Domain::Kernel);
             let cpu = self.cpu.clone();
             cpu.borrow_mut().finish(charge);
             return;
@@ -509,11 +539,17 @@ impl Station for Kernel {
                     Domain::Kernel,
                     Layer::DeviceIntrRead,
                 );
+                charge.trace_span_end(Stage::NicRx);
                 // netisr dispatch + in-kernel demux.
+                charge.trace_span_start(Stage::FilterRun);
                 charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
                 charge.add_ns(Layer::NetisrPacketFilter, self.costs.pcb_lookup);
+                charge.trace_span_end(Stage::FilterRun);
                 self.stats.rx_default += 1;
-                // Synchronous input at interrupt level, same charge.
+                // Synchronous input at interrupt level, same charge. The
+                // delivery span is closed by the packet's terminal state
+                // inside the stack.
+                charge.trace_span_start(Stage::DeliverInKernel);
                 sink.borrow_mut()(sim, &mut charge, frame);
                 let cpu = self.cpu.clone();
                 cpu.borrow_mut().finish(charge);
@@ -536,7 +572,9 @@ impl Station for Kernel {
                 Layer::DeviceIntrRead,
             );
         }
+        charge.trace_span_end(Stage::NicRx);
 
+        charge.trace_span_start(Stage::FilterRun);
         charge.add_ns(Layer::NetisrPacketFilter, self.costs.netisr);
         let result = self.demux.classify(&frame);
         self.stats.filter_steps += result.steps as u64;
@@ -553,6 +591,7 @@ impl Station for Kernel {
             // filter provides (§3.4).
             charge.note_scoped(OpKind::FilterRun, owner.0, 1);
         }
+        charge.trace_span_end(Stage::FilterRun);
 
         let target = match result.owner {
             Some((_, id)) => {
@@ -569,11 +608,17 @@ impl Station for Kernel {
             }
         };
         let Some(id) = target else {
+            // No session filter matched and no default endpoint exists.
+            self.stats.drops.note(DropReason::FilterMiss);
+            charge.trace_drop(DropReason::FilterMiss, Domain::Kernel);
             let cpu = self.cpu.clone();
             cpu.borrow_mut().finish(charge);
             return;
         };
         let Some(ep) = self.endpoints.get_mut(&id) else {
+            // The endpoint was destroyed while the frame was in flight.
+            self.stats.drops.note(DropReason::EndpointDead);
+            charge.trace_drop(DropReason::EndpointDead, Domain::Kernel);
             let cpu = self.cpu.clone();
             cpu.borrow_mut().finish(charge);
             return;
@@ -592,6 +637,7 @@ impl Station for Kernel {
                 // A session filter targeted the in-kernel stack (mixed
                 // configurations): same synchronous treatment, but the
                 // device copy was already made above.
+                charge.trace_span_start(Stage::DeliverInKernel);
                 if let Sink::InKernel(sink) = &ep.sink {
                     let sink = sink.clone();
                     sink.borrow_mut()(sim, &mut charge, frame);
@@ -600,6 +646,7 @@ impl Station for Kernel {
             RxMode::Ipc => {
                 // One IPC message per packet: copy into the message and
                 // out in the receiver, plus a scheduling wakeup.
+                charge.trace_span_start(Stage::DeliverIpc);
                 charge.crossing_in(
                     entered,
                     Layer::KernelCopyout,
@@ -613,16 +660,31 @@ impl Station for Kernel {
                 charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
                 charge.add_ns(Layer::KernelCopyout, self.costs.sched_wakeup);
                 charge.note(OpKind::Wakeup, Domain::Kernel, Layer::KernelCopyout);
+                charge.trace_span_end(Stage::DeliverIpc);
                 if let Sink::Async(sink) = &ep.sink {
                     let sink = sink.clone();
                     let at = charge.at();
+                    let (tracer, tid) = trace_ctx(&charge);
                     sim.at(at, move |sim| {
+                        if let (Some(tr), Some(pkt)) = (&tracer, tid) {
+                            tr.borrow_mut().push_current(pkt);
+                        }
                         let t = sim.now();
                         sink.borrow_mut()(sim, t, frame);
+                        if tid.is_some() {
+                            if let Some(tr) = &tracer {
+                                tr.borrow_mut().pop_current();
+                            }
+                        }
                     });
                 }
             }
             RxMode::Shm | RxMode::ShmIpf => {
+                charge.trace_span_start(if ep.mode == RxMode::ShmIpf {
+                    Stage::DeliverShmIpf
+                } else {
+                    Stage::DeliverShmRing
+                });
                 if ep.mode == RxMode::ShmIpf {
                     // Deferred single copy: device memory → shared ring.
                     // No wired kernel buffer is set up — that is the
@@ -654,6 +716,11 @@ impl Station for Kernel {
                     );
                     charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
                 }
+                charge.trace_span_end(if ep.mode == RxMode::ShmIpf {
+                    Stage::DeliverShmIpf
+                } else {
+                    Stage::DeliverShmRing
+                });
                 // The wakeup decision must be taken when the data lands
                 // in the ring, after earlier deliveries have advanced
                 // the thread's busy window — so it is deferred into an
@@ -661,6 +728,7 @@ impl Station for Kernel {
                 // visible at interrupt time.
                 let ready = charge.at();
                 let me = self.me.clone();
+                let (tracer, tid) = trace_ctx(&charge);
                 sim.at(ready, move |sim| {
                     let Some(kernel) = me.upgrade() else { return };
                     let now = sim.now();
@@ -678,10 +746,18 @@ impl Station for Kernel {
                                     // The network thread is idle: signal
                                     // it (condition variable +
                                     // scheduling).
+                                    if let (Some(tr), Some(pkt)) = (&tracer, tid) {
+                                        tr.borrow_mut().push_current(pkt);
+                                    }
                                     let mut c = cpu.borrow_mut().begin(now);
                                     c.add_ns(Layer::KernelCopyout, sched_wakeup);
                                     c.note(OpKind::Wakeup, Domain::Kernel, Layer::KernelCopyout);
                                     at = cpu.borrow_mut().finish(c);
+                                    if tid.is_some() {
+                                        if let Some(tr) = &tracer {
+                                            tr.borrow_mut().pop_current();
+                                        }
+                                    }
                                     if let Some(ep) = k.endpoints.get_mut(&id) {
                                         ep.thread_busy_until = at;
                                     }
@@ -704,9 +780,18 @@ impl Station for Kernel {
                     };
                     match deliver {
                         Some((sink, at)) => {
+                            let tracer = tracer.clone();
                             sim.at(at, move |sim| {
+                                if let (Some(tr), Some(pkt)) = (&tracer, tid) {
+                                    tr.borrow_mut().push_current(pkt);
+                                }
                                 let t = sim.now();
                                 sink.borrow_mut()(sim, t, frame);
+                                if tid.is_some() {
+                                    if let Some(tr) = &tracer {
+                                        tr.borrow_mut().pop_current();
+                                    }
+                                }
                             });
                         }
                         None => {
@@ -716,7 +801,16 @@ impl Station for Kernel {
                             // so re-presenting the frame lets the
                             // classify path find the session's new
                             // owner instead of leaking the packet.
+                            if let (Some(tr), Some(pkt)) = (&tracer, tid) {
+                                tr.borrow_mut().event(pkt, now, "requeued");
+                                tr.borrow_mut().push_current(pkt);
+                            }
                             kernel.borrow_mut().frame_arrived(sim, frame);
+                            if tid.is_some() {
+                                if let Some(tr) = &tracer {
+                                    tr.borrow_mut().pop_current();
+                                }
+                            }
                         }
                     }
                 });

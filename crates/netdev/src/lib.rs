@@ -15,7 +15,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use psd_sim::probe::ProbeHandle;
-use psd_sim::{FaultPlaneHandle, FaultSite, Layer, Sim, SimTime};
+use psd_sim::{
+    DropReason, FaultPlaneHandle, FaultSite, Layer, Sim, SimTime, Stage, Terminal, TraceHandle,
+    TraceId,
+};
 use psd_wire::{EtherAddr, EthernetHeader};
 
 /// Minimum frame length on the wire (without FCS).
@@ -130,6 +133,10 @@ pub struct Ethernet {
     fault: Option<FaultPlaneHandle>,
     /// Frames still to drop from an in-progress loss burst.
     burst_remaining: u32,
+    /// Packet-lifecycle tracer: every transmitted frame gets a
+    /// provenance id, a wire span, and a terminal state; each station
+    /// delivery becomes a traced child packet.
+    tracer: Option<TraceHandle>,
 }
 
 /// Shared handle to an [`Ethernet`].
@@ -150,6 +157,7 @@ impl Ethernet {
             trace: None,
             fault: None,
             burst_remaining: 0,
+            tracer: None,
         }))
     }
 
@@ -184,6 +192,13 @@ impl Ethernet {
     /// medium's own loss/duplication/reorder draws.
     pub fn set_fault_plane(&mut self, fault: Option<FaultPlaneHandle>) {
         self.fault = fault;
+    }
+
+    /// Attaches (or detaches) a packet-lifecycle tracer. Tracing never
+    /// charges virtual time and never consumes randomness, so attaching
+    /// one does not perturb the medium.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.tracer = tracer;
     }
 
     /// Test hook: drop the next `n` frames unconditionally (a scripted
@@ -231,6 +246,14 @@ impl Ethernet {
         if let Some(p) = &seg.probe {
             p.borrow_mut().record(Layer::NetworkTransit, duration);
         }
+        // Provenance: the wire frame gets its own trace id and a wire
+        // span; every loss below is a typed terminal state.
+        let wire_tid = seg.tracer.as_ref().map(|t| {
+            let mut tr = t.borrow_mut();
+            let id = tr.begin_packet(start, None);
+            tr.span_closed(id, Stage::Wire, start, arrival);
+            id
+        });
 
         // Burst loss (fault plane or the drop_next_frames hook): the
         // frame is consumed from an in-progress burst, or starts one.
@@ -240,6 +263,11 @@ impl Ethernet {
         if seg.burst_remaining > 0 {
             seg.burst_remaining -= 1;
             seg.stats.dropped += 1;
+            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
+                let mut tr = t.borrow_mut();
+                tr.event(id, arrival, "fault:wire-burst");
+                tr.terminal(id, arrival, Terminal::Dropped(DropReason::FaultInjected));
+            }
             return arrival;
         }
         let plane_hit = match &seg.fault {
@@ -254,6 +282,11 @@ impl Ethernet {
                 .unwrap_or(1);
             seg.burst_remaining = burst.saturating_sub(1);
             seg.stats.dropped += 1;
+            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
+                let mut tr = t.borrow_mut();
+                tr.event(id, arrival, "fault:wire-burst");
+                tr.terminal(id, arrival, Terminal::Dropped(DropReason::FaultInjected));
+            }
             return arrival;
         }
 
@@ -264,6 +297,10 @@ impl Ethernet {
         let reordered = !lost && seg.rng.chance(faults.reorder);
         if lost {
             seg.stats.dropped += 1;
+            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
+                t.borrow_mut()
+                    .terminal(id, arrival, Terminal::Dropped(DropReason::WireLoss));
+            }
             return arrival;
         }
         if duplicated {
@@ -272,23 +309,50 @@ impl Ethernet {
         if reordered {
             seg.stats.reordered += 1;
         }
+        if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
+            let mut tr = t.borrow_mut();
+            if duplicated {
+                tr.event(id, arrival, "duplicate");
+            }
+            if reordered {
+                tr.event(id, arrival, "reorder");
+            }
+        }
         let extra = seg.faults.reorder_delay;
         drop(seg);
 
         let deliver_at = if reordered { arrival + extra } else { arrival };
-        Ethernet::schedule_delivery(this, sim, deliver_at, frame.clone());
+        Ethernet::schedule_delivery(this, sim, deliver_at, frame.clone(), wire_tid);
         if duplicated {
-            Ethernet::schedule_delivery(this, sim, arrival + extra, frame);
+            // The duplicate's deliveries are traced as parentless
+            // children: the wire frame must terminate exactly once.
+            Ethernet::schedule_delivery(this, sim, arrival + extra, frame, None);
         }
         arrival
     }
 
-    fn schedule_delivery(this: &EthernetHandle, sim: &mut Sim, at: SimTime, frame: Vec<u8>) {
+    fn schedule_delivery(
+        this: &EthernetHandle,
+        sim: &mut Sim,
+        at: SimTime,
+        frame: Vec<u8>,
+        wire_tid: Option<TraceId>,
+    ) {
         let seg = this.clone();
         sim.at(at, move |sim| {
+            let tracer = seg.borrow().tracer.clone();
             let hdr = match EthernetHeader::parse(&frame) {
                 Ok(h) => h,
-                Err(_) => return,
+                Err(_) => {
+                    if let (Some(t), Some(id)) = (&tracer, wire_tid) {
+                        t.borrow_mut().terminal(
+                            id,
+                            sim.now(),
+                            Terminal::Dropped(DropReason::MalformedFrame),
+                        );
+                    }
+                    return;
+                }
             };
             // Snapshot receivers first so station callbacks can transmit
             // (re-borrowing the segment) without a double borrow.
@@ -307,8 +371,33 @@ impl Ethernet {
                     .collect()
             };
             seg.borrow_mut().stats.delivered += receivers.len() as u64;
+            // The wire frame's terminal: handed to at least one station,
+            // or addressed to nobody listening.
+            if let (Some(t), Some(id)) = (&tracer, wire_tid) {
+                let mut tr = t.borrow_mut();
+                if receivers.is_empty() {
+                    tr.terminal(id, sim.now(), Terminal::Dropped(DropReason::NoReceiver));
+                } else {
+                    tr.terminal(id, sim.now(), Terminal::Delivered);
+                }
+            }
             for station in receivers {
+                // Each station's copy is a traced child of the wire
+                // frame, current for the duration of the synchronous
+                // receive path (asynchronous continuations re-establish
+                // it from the id they capture at schedule time).
+                let child = tracer.as_ref().map(|t| {
+                    let mut tr = t.borrow_mut();
+                    let c = tr.begin_packet(sim.now(), wire_tid);
+                    tr.push_current(c);
+                    c
+                });
                 station.borrow_mut().frame_arrived(sim, frame.clone());
+                if child.is_some() {
+                    if let Some(t) = &tracer {
+                        t.borrow_mut().pop_current();
+                    }
+                }
             }
         });
     }

@@ -12,7 +12,10 @@ use std::net::Ipv4Addr;
 use std::rc::{Rc, Weak};
 
 use psd_mbuf::MbufChain;
-use psd_sim::{Charge, CostModel, Cpu, Layer, OpKind, Sim, SimHandle, SimTime};
+use psd_sim::{
+    Charge, CostModel, Cpu, DropCounters, DropReason, Layer, OpKind, Sim, SimHandle, SimTime,
+    Stage, TraceId,
+};
 use psd_wire::{
     ArpOp, ArpPacket, EtherAddr, EtherType, EthernetHeader, IcmpMessage, IpProto, Ipv4Header,
     TcpHeader, UdpHeader, ETHER_HDR_LEN,
@@ -87,6 +90,10 @@ struct SockEntry {
     /// Bumped whenever timers are invalidated wholesale (close,
     /// migration) so stale timer events turn into no-ops.
     generation: u64,
+    /// Trace ids of datagrams sitting in the socket queue, parallel to
+    /// the UDP pcb's receive queue. Records the enqueue timestamp so the
+    /// socket-queue span can be closed retroactively at dequeue.
+    trace_q: std::collections::VecDeque<(TraceId, SimTime)>,
 }
 
 /// Counters exposed for tests and benchmarks.
@@ -114,6 +121,8 @@ pub struct StackStats {
     pub icmp_in: u64,
     /// Datagrams reassembled from fragments.
     pub reassembled: u64,
+    /// Per-reason drop counters. Always maintained, tracing or not.
+    pub drops: DropCounters,
 }
 
 /// The migration capsule: "the connection state variables" of §3.1.
@@ -347,6 +356,7 @@ impl NetStack {
                 sink: None,
                 timers: HashMap::new(),
                 generation: 0,
+                trace_q: std::collections::VecDeque::new(),
             },
         );
         self.index_sock(id, port);
@@ -837,6 +847,14 @@ impl NetStack {
             return Err(err);
         }
         let (from, chain) = pcb.dequeue().ok_or(SocketError::WouldBlock)?;
+        if let Some((tid, enq_t)) = e.trace_q.pop_front() {
+            if let Some(tr) = charge.trace_handle() {
+                let now = charge.at();
+                let mut tr = tr.borrow_mut();
+                tr.span_closed(tid, Stage::SocketQueue, enq_t, now);
+                tr.event(tid, now, "app-recv");
+            }
+        }
         charge.add_ns(Layer::CopyoutExit, soreceive + sync_unit);
         Ok((chain, from))
     }
@@ -869,6 +887,14 @@ impl NetStack {
             return Err(err);
         }
         let (from, chain) = pcb.dequeue().ok_or(SocketError::WouldBlock)?;
+        if let Some((tid, enq_t)) = e.trace_q.pop_front() {
+            if let Some(tr) = charge.trace_handle() {
+                let now = charge.at();
+                let mut tr = tr.borrow_mut();
+                tr.span_closed(tid, Stage::SocketQueue, enq_t, now);
+                tr.event(tid, now, "app-recv");
+            }
+        }
         charge.add_ns(Layer::CopyoutExit, soreceive + sync_unit);
         let n = chain.len().min(buf.len());
         chain.copy_to_slice(0, &mut buf[..n]);
@@ -1125,11 +1151,15 @@ impl NetStack {
                     // The server is resolving; the packet is dropped
                     // and the protocol's own retransmission recovers.
                     self.stats.arp_drops += 1;
+                    self.stats.drops.note(DropReason::ArpUnresolved);
+                    charge.count_drop(DropReason::ArpUnresolved, self.placement.domain());
                     Ok(())
                 }
             }
         } else {
             self.stats.arp_drops += 1;
+            self.stats.drops.note(DropReason::ArpUnresolved);
+            charge.count_drop(DropReason::ArpUnresolved, self.placement.domain());
             Ok(())
         }
     }
@@ -1166,6 +1196,8 @@ impl NetStack {
     pub fn input_frame(&mut self, sim: &mut Sim, charge: &mut Charge, frame: &[u8]) {
         self.stats.frames_in += 1;
         let Ok(eth) = EthernetHeader::parse(frame) else {
+            self.stats.drops.note(DropReason::MalformedFrame);
+            charge.trace_drop(DropReason::MalformedFrame, self.placement.domain());
             return;
         };
         // Package the packet as an mbuf chain and queue it on the
@@ -1179,14 +1211,21 @@ impl NetStack {
         match eth.ethertype {
             EtherType::Arp => self.arp_input(sim, charge, &frame[ETHER_HDR_LEN..], eth.src),
             EtherType::Ipv4 => self.ip_input(sim, charge, &frame[ETHER_HDR_LEN..]),
-            EtherType::Other(_) => {}
+            EtherType::Other(_) => {
+                self.stats.drops.note(DropReason::UnsupportedEtherType);
+                charge.trace_drop(DropReason::UnsupportedEtherType, self.placement.domain());
+            }
         }
     }
 
     fn arp_input(&mut self, sim: &mut Sim, charge: &mut Charge, pkt: &[u8], _src: EtherAddr) {
         let Ok(arp) = ArpPacket::parse(pkt) else {
+            self.stats.drops.note(DropReason::MalformedFrame);
+            charge.trace_drop(DropReason::MalformedFrame, self.placement.domain());
             return;
         };
+        charge.trace_event("arp");
+        charge.trace_absorbed();
         let now = charge.at();
         // Learn the sender's mapping (all stacks cache; the server is
         // authoritative).
@@ -1209,22 +1248,40 @@ impl NetStack {
     }
 
     fn ip_input(&mut self, sim: &mut Sim, charge: &mut Charge, pkt: &[u8]) {
+        charge.trace_span_start(Stage::NetstackIp);
         charge.add_ns(Layer::IpIntr, self.costs.ip_input_base);
         self.sync(charge, Layer::IpIntr, 3);
         let Ok(hdr) = Ipv4Header::parse(pkt) else {
             self.stats.checksum_errors += 1;
+            self.stats.drops.note(DropReason::ChecksumError);
+            charge.trace_drop(DropReason::ChecksumError, self.placement.domain());
             return;
         };
         if hdr.dst != self.ip_addr && self.placement == Placement::Library {
             // Filters should prevent this; drop defensively.
+            self.stats.drops.note(DropReason::NotForHost);
+            charge.trace_drop(DropReason::NotForHost, self.placement.domain());
             return;
         }
         let payload = &pkt[hdr.header_len..usize::from(hdr.total_len)];
         if hdr.is_fragment() {
             let now = charge.at();
+            // Age out stale partial datagrams first: their buffers are
+            // reclaimed here, at the next fragment arrival, exactly as
+            // BSD's slow-timeout based reaper would eventually do.
+            let expired = self.reasm.expire(now);
+            for _ in 0..expired {
+                self.stats.drops.note(DropReason::ReassemblyTimeout);
+                charge.count_drop(DropReason::ReassemblyTimeout, self.placement.domain());
+            }
             if let Some((whole, data)) = self.reasm.insert(&hdr, payload, now) {
                 self.stats.reassembled += 1;
                 self.dispatch_transport(sim, charge, &whole, &data);
+            } else {
+                // Held awaiting the rest of the datagram; the packet's
+                // bytes live on in the reassembly buffer.
+                charge.trace_event("reassembly-hold");
+                charge.trace_absorbed();
             }
             return;
         }
@@ -1242,18 +1299,26 @@ impl NetStack {
             IpProto::Udp => self.udp_input(sim, charge, ip, payload),
             IpProto::Tcp => self.tcp_input(sim, charge, ip, payload),
             IpProto::Icmp => self.icmp_input(sim, charge, ip, payload),
-            IpProto::Other(_) => {}
+            IpProto::Other(_) => {
+                self.stats.drops.note(DropReason::UnsupportedProtocol);
+                charge.trace_drop(DropReason::UnsupportedProtocol, self.placement.domain());
+            }
         }
     }
 
     fn udp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {
+        charge.trace_span_start(Stage::NetstackUdp);
         charge.add_ns(Layer::TcpUdpInput, self.costs.udp_input_base);
         self.sync(charge, Layer::TcpUdpInput, 1);
         let Ok(udp) = UdpHeader::parse(pkt) else {
+            self.stats.drops.note(DropReason::MalformedFrame);
+            charge.trace_drop(DropReason::MalformedFrame, self.placement.domain());
             return;
         };
         let data_len = usize::from(udp.len).saturating_sub(psd_wire::UDP_HDR_LEN);
         if pkt.len() < psd_wire::UDP_HDR_LEN + data_len {
+            self.stats.drops.note(DropReason::TruncatedPayload);
+            charge.trace_drop(DropReason::TruncatedPayload, self.placement.domain());
             return;
         }
         let data = &pkt[psd_wire::UDP_HDR_LEN..psd_wire::UDP_HDR_LEN + data_len];
@@ -1265,6 +1330,8 @@ impl NetStack {
         );
         if !udp.verify(ip, pkt, std::iter::once(data)) {
             self.stats.checksum_errors += 1;
+            self.stats.drops.note(DropReason::ChecksumError);
+            charge.trace_drop(DropReason::ChecksumError, self.placement.domain());
             return;
         }
         self.stats.udp_in += 1;
@@ -1295,10 +1362,15 @@ impl NetStack {
             // fragments), then ICMP port unreachable.
             if let Some(hook) = self.unclaimed_udp.clone() {
                 if hook.borrow_mut()(sim, dst, src, data) {
+                    // Forwarded to the session's new owner.
+                    charge.trace_event("forward");
+                    charge.trace_absorbed();
                     return;
                 }
             }
             self.stats.no_socket += 1;
+            self.stats.drops.note(DropReason::PortUnreachable);
+            charge.trace_drop(DropReason::PortUnreachable, self.placement.domain());
             if self.arp_authoritative {
                 let mut quoted = ip.encode().to_vec();
                 quoted.extend_from_slice(&pkt[..pkt.len().min(8)]);
@@ -1317,14 +1389,26 @@ impl NetStack {
         };
         let was_empty = pcb.rcv.is_empty();
         if pcb.enqueue(src, MbufChain::from_slice(data)) {
+            if let Some(tr) = charge.trace_handle() {
+                if let Some(tid) = tr.borrow().current() {
+                    e.trace_q.push_back((tid, charge.at()));
+                }
+            }
+            charge.trace_delivered();
             self.notify(sim, charge, sock, SockEvent::Readable, was_empty);
+        } else {
+            self.stats.drops.note(DropReason::SocketOverflow);
+            charge.trace_drop(DropReason::SocketOverflow, self.placement.domain());
         }
     }
 
     fn tcp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {
+        charge.trace_span_start(Stage::NetstackTcp);
         charge.add_ns(Layer::TcpUdpInput, self.costs.tcp_input_base);
         self.sync(charge, Layer::TcpUdpInput, 2);
         let Ok((hdr, hdr_len)) = TcpHeader::parse(pkt) else {
+            self.stats.drops.note(DropReason::MalformedFrame);
+            charge.trace_drop(DropReason::MalformedFrame, self.placement.domain());
             return;
         };
         charge.add_per_byte(Layer::TcpUdpInput, self.costs.checksum_byte, pkt.len());
@@ -1340,6 +1424,8 @@ impl NetStack {
             std::iter::once(&pkt[hdr_len..]),
         ) {
             self.stats.checksum_errors += 1;
+            self.stats.drops.note(DropReason::ChecksumError);
+            charge.trace_drop(DropReason::ChecksumError, self.placement.domain());
             return;
         }
         self.stats.tcp_in += 1;
@@ -1394,10 +1480,15 @@ impl NetStack {
             // the RST for those (the application's copy is live).
             if let Some(hook) = self.stray_tcp.clone() {
                 if hook.borrow_mut()(local, remote) {
+                    // A migrated session's live copy will handle it.
+                    charge.trace_event("stray-suppressed");
+                    charge.trace_absorbed();
                     return;
                 }
             }
             self.stats.no_socket += 1;
+            self.stats.drops.note(DropReason::ConnectionRefused);
+            charge.trace_drop(DropReason::ConnectionRefused, self.placement.domain());
             let mut closed = Tcb::new(local, remote, 0, 0);
             let now = charge.at();
             let actions = closed.input(&hdr, payload, now);
@@ -1418,6 +1509,10 @@ impl NetStack {
             tcb.input(&hdr, payload, now)
         };
         self.run_tcp_actions(sim, charge, sock, actions);
+        // The segment's bytes merged into the connection's stream (or
+        // were dropped by sequence-space checks inside the TCB); either
+        // way TCP has consumed the packet.
+        charge.trace_absorbed();
     }
 
     fn tcp_passive_open(
@@ -1444,7 +1539,10 @@ impl NetStack {
             _ => true,
         };
         if full {
-            return; // Drop the SYN; the peer retries.
+            // Drop the SYN; the peer retries.
+            self.stats.drops.note(DropReason::ListenOverflow);
+            charge.trace_drop(DropReason::ListenOverflow, self.placement.domain());
+            return;
         }
         let iss = self.next_iss();
         let (snd, rcv) = self.tcp_bufs;
@@ -1461,6 +1559,7 @@ impl NetStack {
         // Remember which listener owns this embryonic connection.
         self.pending_children.push((listener, child));
         self.run_tcp_actions(sim, charge, child, actions);
+        charge.trace_absorbed();
     }
 
     // --- TCP action execution ---
@@ -1585,8 +1684,12 @@ impl NetStack {
         charge.add_ns(Layer::TcpUdpInput, self.costs.udp_input_base / 2);
         let Ok(msg) = IcmpMessage::parse(pkt) else {
             self.stats.checksum_errors += 1;
+            self.stats.drops.note(DropReason::ChecksumError);
+            charge.trace_drop(DropReason::ChecksumError, self.placement.domain());
             return;
         };
+        charge.trace_event("icmp");
+        charge.trace_absorbed();
         // Echo: answered by the authoritative (OS) stack.
         if self.arp_authoritative {
             if let Some((rip, rpayload)) = icmp::echo_reply(ip, &msg) {

@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 
 use crate::probe::Layer;
+use crate::trace::DropReason;
 
 /// The kinds of operations the census distinguishes.
 ///
@@ -85,7 +86,7 @@ impl OpKind {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             OpKind::BoundaryCrossing => 0,
             OpKind::PacketBodyCopy => 1,
@@ -100,7 +101,7 @@ impl OpKind {
         }
     }
 
-    const COUNT: usize = 10;
+    pub(crate) const COUNT: usize = 10;
 }
 
 /// The protection domain in which a counted operation executed.
@@ -150,6 +151,7 @@ impl Domain {
 pub struct Census {
     enabled: bool,
     counts: [[[u64; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT],
+    drops: [[u64; Domain::COUNT]; DropReason::COUNT],
     scoped: BTreeMap<(u8, u64), u64>,
 }
 
@@ -163,6 +165,7 @@ impl Census {
         Census {
             enabled: true,
             counts: [[[0; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT],
+            drops: [[0; Domain::COUNT]; DropReason::COUNT],
             scoped: BTreeMap::new(),
         }
     }
@@ -204,6 +207,27 @@ impl Census {
         }
     }
 
+    /// Counts one packet dropped for `reason` in `domain`. Drops are a
+    /// separate grid from the operation counters: every drop is also a
+    /// terminal state in the packet-lifecycle trace, and the always-on
+    /// per-component [`DropCounters`](crate::trace::DropCounters) carry
+    /// the same taxonomy when no census is attached.
+    pub fn note_drop(&mut self, reason: DropReason, domain: Domain) {
+        if self.enabled {
+            self.drops[reason.index()][domain.index()] += 1;
+        }
+    }
+
+    /// The drop count for one `(reason, domain)` cell.
+    pub fn drop_count(&self, reason: DropReason, domain: Domain) -> u64 {
+        self.drops[reason.index()][domain.index()]
+    }
+
+    /// Total drops for `reason` across all domains.
+    pub fn drop_total(&self, reason: DropReason) -> u64 {
+        self.drops[reason.index()].iter().sum()
+    }
+
     /// The count for one `(kind, domain, layer)` cell.
     pub fn count(&self, op: OpKind, domain: Domain, layer: Layer) -> u64 {
         self.counts[op.index()][layer.index()][domain.index()]
@@ -241,6 +265,7 @@ impl Census {
     /// Clears all counters.
     pub fn reset(&mut self) {
         self.counts = [[[0; Domain::COUNT]; Layer::COUNT]; OpKind::COUNT];
+        self.drops = [[0; Domain::COUNT]; DropReason::COUNT];
         self.scoped.clear();
     }
 
@@ -266,10 +291,93 @@ impl Census {
                 }
             }
         }
+        for reason in DropReason::ALL {
+            for domain in Domain::ALL {
+                let n = self.drop_count(reason, domain);
+                if n != 0 {
+                    let _ = writeln!(
+                        out,
+                        "{:<18} {:<20} {:<8} {}",
+                        "drop",
+                        reason.label(),
+                        domain.label(),
+                        n
+                    );
+                }
+            }
+        }
         for (&(op_idx, scope), &n) in &self.scoped {
             let op = OpKind::ALL[op_idx as usize];
             let _ = writeln!(out, "{:<18} scope={:<14} {}", op.label(), scope, n);
         }
+        out
+    }
+
+    /// A machine-readable JSON rendering of the same nonzero counters
+    /// [`Census::snapshot`] prints, in the same deterministic order.
+    /// Built by hand (no serializer dependency); all keys and labels
+    /// are ASCII and need no escaping.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"ops\":[");
+        let mut first = true;
+        for op in OpKind::ALL {
+            for layer in Layer::ALL {
+                for domain in Domain::ALL {
+                    let n = self.count(op, domain, layer);
+                    if n != 0 {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let _ = write!(
+                            out,
+                            "{{\"op\":\"{}\",\"layer\":\"{}\",\"domain\":\"{}\",\"n\":{}}}",
+                            op.label(),
+                            layer.label(),
+                            domain.label(),
+                            n
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("],\"drops\":[");
+        let mut first = true;
+        for reason in DropReason::ALL {
+            for domain in Domain::ALL {
+                let n = self.drop_count(reason, domain);
+                if n != 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "{{\"reason\":\"{}\",\"domain\":\"{}\",\"n\":{}}}",
+                        reason.label(),
+                        domain.label(),
+                        n
+                    );
+                }
+            }
+        }
+        out.push_str("],\"scoped\":[");
+        let mut first = true;
+        for (&(op_idx, scope), &n) in &self.scoped {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let op = OpKind::ALL[op_idx as usize];
+            let _ = write!(
+                out,
+                "{{\"op\":\"{}\",\"scope\":{},\"n\":{}}}",
+                op.label(),
+                scope,
+                n
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -349,9 +457,47 @@ mod tests {
         let mut c = Census::new();
         c.note(OpKind::Interrupt, Domain::Kernel, Layer::DeviceIntrRead);
         c.note_scoped(OpKind::FilterRun, 1, 1);
+        c.note_drop(DropReason::ChecksumError, Domain::Server);
         c.reset();
         assert_eq!(c.total(OpKind::Interrupt), 0);
         assert_eq!(c.scoped(OpKind::FilterRun, 1), 0);
+        assert_eq!(c.drop_total(DropReason::ChecksumError), 0);
         assert!(c.snapshot().is_empty());
+    }
+
+    #[test]
+    fn drops_counted_per_reason_and_domain() {
+        let mut c = Census::new();
+        c.note_drop(DropReason::FilterMiss, Domain::Kernel);
+        c.note_drop(DropReason::FilterMiss, Domain::Kernel);
+        c.note_drop(DropReason::PortUnreachable, Domain::Library);
+        assert_eq!(c.drop_count(DropReason::FilterMiss, Domain::Kernel), 2);
+        assert_eq!(c.drop_total(DropReason::FilterMiss), 2);
+        assert_eq!(c.drop_total(DropReason::PortUnreachable), 1);
+        let snap = c.snapshot();
+        assert!(snap.contains("filter-miss"));
+        assert!(snap.contains("port-unreachable"));
+        // Disabled census ignores drops like everything else.
+        c.set_enabled(false);
+        c.note_drop(DropReason::WireLoss, Domain::Kernel);
+        assert_eq!(c.drop_total(DropReason::WireLoss), 0);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_nonzero_only() {
+        let build = || {
+            let mut c = Census::new();
+            c.note(OpKind::Checksum, Domain::Server, Layer::TcpUdpInput);
+            c.note_drop(DropReason::ChecksumError, Domain::Server);
+            c.note_scoped(OpKind::FilterRun, 3, 4);
+            c.snapshot_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.starts_with("{\"ops\":["));
+        assert!(a.contains("\"reason\":\"checksum-error\""));
+        assert!(a.contains("\"scope\":3"));
+        assert!(a.ends_with("]}"));
+        assert!(!a.contains("wakeup"));
     }
 }

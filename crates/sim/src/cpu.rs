@@ -17,6 +17,7 @@ use crate::census::{CensusHandle, Domain, OpKind};
 use crate::fault::{FaultPlaneHandle, FaultSite};
 use crate::probe::{Layer, ProbeHandle};
 use crate::time::SimTime;
+use crate::trace::{DropReason, Stage, Terminal, TraceHandle};
 
 /// A serializing processor resource.
 #[derive(Debug, Default)]
@@ -26,6 +27,7 @@ pub struct Cpu {
     probe: Option<ProbeHandle>,
     census: Option<CensusHandle>,
     fault: Option<FaultPlaneHandle>,
+    trace: Option<TraceHandle>,
 }
 
 impl Cpu {
@@ -72,6 +74,20 @@ impl Cpu {
         self.fault.as_ref()
     }
 
+    /// Attaches (or detaches) a packet-lifecycle tracer; spans, events
+    /// and terminal states on every charge opened on this CPU report to
+    /// it. Like the census, tracing never charges virtual time and
+    /// never consumes randomness, so attaching a tracer does not
+    /// perturb the simulation.
+    pub fn set_tracer(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
+    }
+
+    /// Returns the attached tracer, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
     /// The instant the CPU becomes free.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -91,6 +107,7 @@ impl Cpu {
             probe: self.probe.clone(),
             census: self.census.clone(),
             fault: self.fault.clone(),
+            trace: self.trace.clone(),
         }
     }
 
@@ -115,6 +132,7 @@ pub struct Charge {
     probe: Option<ProbeHandle>,
     census: Option<CensusHandle>,
     fault: Option<FaultPlaneHandle>,
+    trace: Option<TraceHandle>,
 }
 
 impl Charge {
@@ -127,6 +145,7 @@ impl Charge {
             probe,
             census: None,
             fault: None,
+            trace: None,
         }
     }
 
@@ -181,18 +200,27 @@ impl Charge {
         self.note(OpKind::BoundaryCrossing, domain, layer);
     }
 
-    /// Counts one occurrence of `op` in the census (if one is attached).
-    /// Counting is free: the cursor does not advance.
+    /// Counts one occurrence of `op` in the census and the tracer (if
+    /// attached). Counting is free: the cursor does not advance. This
+    /// single hook fans out to both sinks, so a call site can never
+    /// increment one and not the other.
     pub fn note(&mut self, op: OpKind, domain: Domain, layer: Layer) {
         if let Some(c) = &self.census {
             c.borrow_mut().note(op, domain, layer);
         }
+        if let Some(t) = &self.trace {
+            t.borrow_mut().note_op(op, self.cursor);
+        }
     }
 
-    /// Counts `n` occurrences of `op` in the census (if one is attached).
+    /// Counts `n` occurrences of `op` in the census and the tracer (if
+    /// attached).
     pub fn note_n(&mut self, op: OpKind, domain: Domain, layer: Layer, n: u64) {
         if let Some(c) = &self.census {
             c.borrow_mut().note_n(op, domain, layer, n);
+        }
+        if let Some(t) = &self.trace {
+            t.borrow_mut().note_op_n(op, self.cursor, n);
         }
     }
 
@@ -229,6 +257,97 @@ impl Charge {
     /// Returns the fault plane this cursor consults.
     pub fn fault_handle(&self) -> Option<FaultPlaneHandle> {
         self.fault.clone()
+    }
+
+    // --- Packet-lifecycle tracing hooks ---
+    //
+    // All hooks are free (the cursor does not advance) and no-ops when
+    // no tracer is attached or no packet is current, so instrumented
+    // paths cost nothing in a plain run.
+
+    /// Returns the tracer this cursor reports to, for handing to
+    /// asynchronous continuations (delivery closures, deferred wakeups)
+    /// together with [`Tracer::current`].
+    ///
+    /// [`Tracer::current`]: crate::trace::Tracer::current
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.trace.clone()
+    }
+
+    /// Opens a `stage` span on the current packet at the cursor.
+    pub fn trace_span_start(&mut self, stage: Stage) {
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if let Some(id) = t.current() {
+                t.span_start(id, stage, self.cursor);
+            }
+        }
+    }
+
+    /// Closes the innermost open span (which must be `stage`) on the
+    /// current packet at the cursor.
+    pub fn trace_span_end(&mut self, stage: Stage) {
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if let Some(id) = t.current() {
+                t.span_end(id, stage, self.cursor);
+            }
+        }
+    }
+
+    /// Records a named instant event on the current packet.
+    pub fn trace_event(&mut self, name: &'static str) {
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if let Some(id) = t.current() {
+                t.event(id, self.cursor, name);
+            }
+        }
+    }
+
+    /// Records that the current packet was dropped for `reason` in
+    /// `domain`: counts the drop in the census and terminates the
+    /// packet's trace. Use at *receive-path* drop sites, where the
+    /// current packet is the one dying.
+    pub fn trace_drop(&mut self, reason: DropReason, domain: Domain) {
+        self.count_drop(reason, domain);
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if let Some(id) = t.current() {
+                t.terminal(id, self.cursor, Terminal::Dropped(reason));
+            }
+        }
+    }
+
+    /// Counts a drop for `reason` in the census *without* terminating
+    /// the current packet's trace. Use at *transmit-path* drop sites
+    /// (ARP-pending, limiter, disconnected device): a reply triggered
+    /// by a received packet can die on the way out while the received
+    /// packet itself lives on.
+    pub fn count_drop(&mut self, reason: DropReason, domain: Domain) {
+        if let Some(c) = &self.census {
+            c.borrow_mut().note_drop(reason, domain);
+        }
+    }
+
+    /// Records the current packet's `Delivered` terminal state.
+    pub fn trace_delivered(&mut self) {
+        self.trace_terminal(Terminal::Delivered);
+    }
+
+    /// Records the current packet's `Absorbed` terminal state (the
+    /// packet was consumed by a protocol engine, not lost).
+    pub fn trace_absorbed(&mut self) {
+        self.trace_terminal(Terminal::Absorbed);
+    }
+
+    fn trace_terminal(&mut self, term: Terminal) {
+        if let Some(t) = &self.trace {
+            let mut t = t.borrow_mut();
+            if let Some(id) = t.current() {
+                t.terminal(id, self.cursor, term);
+            }
+        }
     }
 }
 
@@ -309,6 +428,67 @@ mod tests {
         let mut c = cpu.begin(SimTime::ZERO);
         c.add_per_byte(Layer::EntryCopyin, 126, 1000);
         assert_eq!(c.elapsed(), SimTime::from_nanos(126_000));
+    }
+
+    #[test]
+    fn note_fans_out_to_census_and_tracer() {
+        use crate::census::Census;
+        use crate::trace::Tracer;
+        let census = Census::shared();
+        let tracer = Tracer::shared();
+        let mut cpu = Cpu::new();
+        cpu.set_census(Some(census.clone()));
+        cpu.set_tracer(Some(tracer.clone()));
+        let id = tracer.borrow_mut().begin_packet(SimTime::ZERO, None);
+        tracer.borrow_mut().push_current(id);
+        let mut c = cpu.begin(SimTime::ZERO);
+        c.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
+        c.note_n(OpKind::Wakeup, Domain::Kernel, Layer::WakeupUserThread, 2);
+        c.trace_span_start(Stage::NicRx);
+        c.add_ns(Layer::DeviceIntrRead, 100);
+        c.trace_span_end(Stage::NicRx);
+        c.trace_delivered();
+        cpu.finish(c);
+        tracer.borrow_mut().pop_current();
+        let t = tracer.borrow();
+        assert_eq!(
+            t.op_total(OpKind::PacketBodyCopy),
+            census.borrow().total(OpKind::PacketBodyCopy)
+        );
+        assert_eq!(
+            t.op_total(OpKind::Wakeup),
+            census.borrow().total(OpKind::Wakeup)
+        );
+        assert_eq!(t.stage_latencies(Stage::NicRx), vec![100]);
+        assert_eq!(t.terminal_of(id), Some(crate::trace::Terminal::Delivered));
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn trace_drop_terminates_and_counts_count_drop_only_counts() {
+        use crate::census::Census;
+        use crate::trace::Tracer;
+        let census = Census::shared();
+        let tracer = Tracer::shared();
+        let mut cpu = Cpu::new();
+        cpu.set_census(Some(census.clone()));
+        cpu.set_tracer(Some(tracer.clone()));
+        let id = tracer.borrow_mut().begin_packet(SimTime::ZERO, None);
+        tracer.borrow_mut().push_current(id);
+        let mut c = cpu.begin(SimTime::ZERO);
+        // A transmit-side drop must not terminate the current packet.
+        c.count_drop(DropReason::ArpUnresolved, Domain::Library);
+        assert_eq!(tracer.borrow().terminal_of(id), None);
+        // A receive-side drop terminates it.
+        c.trace_drop(DropReason::ChecksumError, Domain::Library);
+        cpu.finish(c);
+        tracer.borrow_mut().pop_current();
+        assert_eq!(
+            tracer.borrow().terminal_of(id),
+            Some(crate::trace::Terminal::Dropped(DropReason::ChecksumError))
+        );
+        assert_eq!(census.borrow().drop_total(DropReason::ArpUnresolved), 1);
+        assert_eq!(census.borrow().drop_total(DropReason::ChecksumError), 1);
     }
 
     #[test]

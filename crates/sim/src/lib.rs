@@ -31,6 +31,7 @@ pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use census::{Census, CensusHandle, Domain, OpKind};
 pub use cost::{CostModel, Platform};
@@ -41,3 +42,6 @@ pub use probe::{LatencyProbe, Layer, LayerStats, PathKind, ProbeHandle};
 pub use rng::Rng;
 pub use stats::Summary;
 pub use time::SimTime;
+pub use trace::{
+    chrome_trace_document, DropCounters, DropReason, Stage, Terminal, TraceHandle, TraceId, Tracer,
+};

@@ -285,6 +285,25 @@ impl TestBed {
         plane
     }
 
+    /// Attaches a fresh packet-lifecycle tracer to every host CPU and
+    /// to the wire, returning its handle. Tracing never charges virtual
+    /// time and consumes no randomness, so an attached tracer leaves
+    /// every timing result bit-identical.
+    pub fn attach_tracer(&mut self) -> psd_sim::TraceHandle {
+        let tracer = psd_sim::Tracer::shared();
+        self.attach_tracer_handle(&tracer);
+        tracer
+    }
+
+    /// Attaches an existing tracer (shared across beds when a benchmark
+    /// merges several runs into one trace file).
+    pub fn attach_tracer_handle(&mut self, tracer: &psd_sim::TraceHandle) {
+        for h in &self.hosts {
+            h.cpu.borrow_mut().set_tracer(Some(tracer.clone()));
+        }
+        self.ether.borrow_mut().set_tracer(Some(tracer.clone()));
+    }
+
     /// Runs the simulation until idle.
     pub fn settle(&mut self) {
         self.sim.run_to_idle();
