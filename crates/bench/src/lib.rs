@@ -10,6 +10,8 @@
 //! proxy interface — the same socket API every configuration exports —
 //! so a single workload implementation measures all eight systems.
 
+pub mod json;
+pub mod selfbench;
 pub mod tables;
 pub mod workload;
 pub mod workloads;

@@ -6,46 +6,39 @@
 //! entry points thread `&mut Sim` as an ambient context, so there is a
 //! single virtual clock and a single totally-ordered event queue, which
 //! makes every run exactly reproducible for a given seed.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! The queue is a hierarchical timer wheel ([`wheel`](crate::wheel)) over
+//! slab-allocated entries with inline closure storage
+//! ([`smallfn`](crate::smallfn)): steady-state scheduling does no
+//! per-event heap traffic, and cancellation is O(1) against
+//! generation-tagged handles. It pops in exactly the same total
+//! `(time, seq)` order as the original `BinaryHeap` engine (retained as
+//! [`reference::BaselineQueue`](crate::reference::BaselineQueue) and
+//! checked by `tests/engine_equivalence.rs`), so same-seed runs are
+//! byte-identical across the rework.
 
 use crate::rng::Rng;
+use crate::smallfn::SmallFn;
 use crate::time::SimTime;
-
-/// An event callback. It receives the simulation so it can read the clock
-/// and schedule further events.
-pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+use crate::wheel::{TimerWheel, WheelStats};
 
 /// A handle to a scheduled event, usable to cancel it (e.g. TCP timers).
+///
+/// Internally `(generation << 32) | slab_index`. The generation is
+/// bumped every time the slab slot is reclaimed, so a handle kept after
+/// its event fired (or was cancelled) goes permanently stale: it can
+/// never cancel an unrelated event that later reuses the slot, and
+/// cancelling it costs nothing and stores nothing.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SimHandle(u64);
 
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    f: EventFn,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Entry) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl SimHandle {
+    fn new(idx: u32, gen: u32) -> SimHandle {
+        SimHandle(((gen as u64) << 32) | idx as u64)
     }
-}
 
-impl Eq for Entry {}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Entry) -> Ordering {
-        // Reverse so the `BinaryHeap` max-heap pops the earliest
-        // `(time, seq)` first; equal times run in scheduling order.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+    fn parts(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
     }
 }
 
@@ -53,8 +46,7 @@ impl Ord for Entry {
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry>,
-    cancelled: HashSet<u64>,
+    wheel: TimerWheel,
     rng: Rng,
     executed: u64,
 }
@@ -65,8 +57,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            wheel: TimerWheel::new(),
             rng: Rng::new(seed),
             executed: 0,
         }
@@ -82,6 +73,18 @@ impl Sim {
         self.executed
     }
 
+    /// Number of events currently scheduled and not cancelled
+    /// (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.wheel.live()
+    }
+
+    /// Queue-side memory accounting, for the leak regression tests and
+    /// the self-benchmark.
+    pub fn queue_stats(&self) -> WheelStats {
+        self.wheel.stats()
+    }
+
     /// The root PRNG. Components should [`Rng::fork`] their own streams at
     /// setup time so that adding a component does not perturb others.
     pub fn rng(&mut self) -> &mut Rng {
@@ -93,12 +96,9 @@ impl Sim {
         let time = t.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            time,
-            seq,
-            f: Box::new(f),
-        });
-        SimHandle(seq)
+        self.wheel.sync(self.now.as_nanos());
+        let (idx, gen) = self.wheel.insert(time.as_nanos(), seq, SmallFn::new(f));
+        SimHandle::new(idx, gen)
     }
 
     /// Schedules `f` to run `delay` after the current time.
@@ -107,23 +107,17 @@ impl Sim {
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already run (or was already cancelled) is a no-op.
+    /// already run (or was already cancelled) is a no-op — and, unlike
+    /// the original `HashSet` engine, stores nothing.
     pub fn cancel(&mut self, handle: SimHandle) {
-        self.cancelled.insert(handle.0);
+        let (idx, gen) = handle.parts();
+        self.wheel.cancel(idx, gen);
     }
 
-    fn pop_due(&mut self, horizon: SimTime) -> Option<Entry> {
-        while let Some(head) = self.queue.peek() {
-            if head.time > horizon {
-                return None;
-            }
-            let entry = self.queue.pop().expect("peeked entry must pop");
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            return Some(entry);
-        }
-        None
+    fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, SmallFn)> {
+        self.wheel
+            .pop_due(horizon.as_nanos())
+            .map(|(when, f)| (SimTime::from_nanos(when), f))
     }
 
     /// Runs events until the queue is exhausted or `limit` events have run.
@@ -132,11 +126,11 @@ impl Sim {
         let mut n = 0;
         while n < limit {
             match self.pop_due(SimTime::MAX) {
-                Some(entry) => {
-                    self.now = entry.time;
+                Some((time, f)) => {
+                    self.now = time;
                     self.executed += 1;
                     n += 1;
-                    (entry.f)(self);
+                    f.call(self);
                 }
                 None => break,
             }
@@ -148,11 +142,11 @@ impl Sim {
     /// `deadline`. Returns the number of events executed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(entry) = self.pop_due(deadline) {
-            self.now = entry.time;
+        while let Some((time, f)) = self.pop_due(deadline) {
+            self.now = time;
             self.executed += 1;
             n += 1;
-            (entry.f)(self);
+            f.call(self);
         }
         if deadline > self.now {
             self.now = deadline;
@@ -167,15 +161,9 @@ impl Sim {
 
     /// True if no runnable events remain.
     pub fn is_idle(&mut self) -> bool {
-        // Drain cancelled heads so the answer is accurate.
-        while let Some(head) = self.queue.peek() {
-            if self.cancelled.remove(&head.seq) {
-                self.queue.pop();
-            } else {
-                return false;
-            }
-        }
-        true
+        // The wheel tracks live (non-cancelled) entries exactly, so no
+        // draining is needed to answer accurately.
+        self.wheel.is_empty()
     }
 }
 
@@ -283,5 +271,83 @@ mod tests {
         });
         sim.run_to_idle();
         assert_eq!(*when.borrow(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn cancelling_fired_handles_stores_nothing() {
+        // Regression for the original engine's unbounded `cancelled`
+        // HashSet: cancelling 100k already-fired handles must leave
+        // queue-side memory bounded (here: identically empty).
+        let mut sim = Sim::new(1);
+        let mut handles = Vec::new();
+        for i in 0..100_000u64 {
+            handles.push(sim.at(SimTime::from_nanos(i), |_| {}));
+        }
+        let baseline_slab = {
+            sim.run_to_idle();
+            sim.queue_stats().slab_slots
+        };
+        for h in handles {
+            sim.cancel(h);
+        }
+        let s = sim.queue_stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.cancelled_pending, 0, "dead cancels store nothing");
+        assert_eq!(s.slab_slots, baseline_slab, "slab did not grow");
+        assert_eq!(sim.executed(), 100_000);
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuser() {
+        // ABA safety: a handle whose event fired must not cancel the
+        // unrelated event that reuses its slab slot.
+        let mut sim = Sim::new(1);
+        let stale = sim.at(SimTime::ZERO, |_| {});
+        sim.run_to_idle();
+
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        let fresh = sim.after(SimTime::from_micros(1), move |_| *f2.borrow_mut() = true);
+        // The slab reuses slot 0, so the raw indices collide; only the
+        // generation distinguishes them.
+        sim.cancel(stale);
+        assert_eq!(sim.pending(), 1, "stale cancel did not touch new event");
+        sim.run_to_idle();
+        assert!(*fired.borrow(), "new event still ran");
+        // And the fresh handle itself is now stale too.
+        sim.cancel(fresh);
+        assert_eq!(sim.queue_stats().cancelled_pending, 0);
+    }
+
+    #[test]
+    fn mixed_level_schedule_matches_total_order() {
+        // Spread expiries across several wheel levels, including exact
+        // slot boundaries, and check global (time, seq) order.
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let times = [
+            0u64,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 20) + 1,
+            1 << 45,
+            7,
+            7,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            sim.at(SimTime::from_nanos(t), move |s| {
+                log.borrow_mut().push((s.now().as_nanos(), i));
+            });
+        }
+        sim.run_to_idle();
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_unstable();
+        assert_eq!(*log.borrow(), expect);
     }
 }

@@ -28,10 +28,13 @@ pub mod cpu;
 pub mod engine;
 pub mod fault;
 pub mod probe;
+pub mod reference;
 pub mod rng;
+mod smallfn;
 pub mod stats;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use census::{Census, CensusHandle, Domain, OpKind};
 pub use cost::{CostModel, Platform};
@@ -39,9 +42,12 @@ pub use cpu::{Charge, Cpu};
 pub use engine::{Sim, SimHandle};
 pub use fault::{FaultPlane, FaultPlaneHandle, FaultSite};
 pub use probe::{LatencyProbe, Layer, LayerStats, PathKind, ProbeHandle};
+pub use reference::{BaselineHandle, BaselineQueue};
 pub use rng::Rng;
+pub use smallfn::{SmallFn, INLINE_BYTES};
 pub use stats::Summary;
 pub use time::SimTime;
 pub use trace::{
     chrome_trace_document, DropCounters, DropReason, Stage, Terminal, TraceHandle, TraceId, Tracer,
 };
+pub use wheel::WheelStats;
