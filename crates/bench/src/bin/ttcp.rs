@@ -8,7 +8,6 @@
 //!       [--mb 16] [--newapi] [--loss 0.01] [--seed 42]
 
 use psd_bench::{ttcp, ApiStyle};
-use psd_netdev::FaultModel;
 use psd_sim::Platform;
 use psd_systems::{SystemConfig, TestBed};
 
@@ -45,7 +44,10 @@ fn main() {
         ApiStyle::Classic
     };
 
-    let mut bed = TestBed::with_faults(config, platform, seed, FaultModel::lossy(loss));
+    let mut bed = TestBed::new(config, platform, seed);
+    if loss > 0.0 {
+        bed.arm_wire_faults(seed, loss, 0.0, 0.0);
+    }
     let r = ttcp(&mut bed, mb << 20, api);
     println!(
         "ttcp-t: {} bytes in {:.2} real seconds = {:.2} KB/sec +++",

@@ -6,20 +6,28 @@
 //! paper's Table 4 network transit figures exactly (51 µs for a minimum
 //! frame, 1214 µs for a full 1514-byte TCP frame).
 //!
-//! The medium supports deterministic fault injection — loss, duplication
-//! and reordering — used by the TCP recovery tests and the failure
-//! benchmarks. A [`FrameTrace`] can be attached to capture traffic for
-//! assertions and debugging.
+//! The medium supports deterministic fault injection — loss (independent
+//! and bursty), duplication, reordering, and link-down windows — all
+//! driven through the attached [`psd_sim::fault`] plane, so every wire
+//! fault is a named, scripted or seeded [`FaultSite`] and the medium
+//! itself consumes no randomness. A [`FrameTrace`] can be attached to
+//! capture traffic for assertions and debugging.
+//!
+//! The [`topology`] module composes segments into multi-hop networks:
+//! learning switches and store-and-forward IP routers with bounded
+//! drop-tail / RED egress queues.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use psd_sim::probe::ProbeHandle;
 use psd_sim::{
-    DropReason, FaultPlaneHandle, FaultSite, Layer, Sim, SimTime, Stage, Terminal, TraceHandle,
-    TraceId,
+    DropCounters, DropReason, FaultPlaneHandle, FaultSite, Layer, Sim, SimTime, Stage, Terminal,
+    TraceHandle, TraceId,
 };
 use psd_wire::{EtherAddr, EthernetHeader};
+
+pub mod topology;
 
 /// Minimum frame length on the wire (without FCS).
 pub const MIN_FRAME: usize = 60;
@@ -41,39 +49,20 @@ impl EtherTiming {
         EtherTiming { bit_ns: 100 }
     }
 
+    /// A segment running at `mbps` megabits per second (10 Mb/s is the
+    /// paper's wire; routers can join faster or slower links).
+    pub fn megabit(mbps: u64) -> EtherTiming {
+        assert!(mbps > 0 && 1000 % mbps == 0, "rate must divide 1000 Mb/s");
+        EtherTiming {
+            bit_ns: 1000 / mbps,
+        }
+    }
+
     /// The on-wire time for a frame of `len` bytes (header + payload,
     /// excluding FCS, which is added here).
     pub fn frame_time(&self, len: usize) -> SimTime {
         let wire_bytes = (len.max(MIN_FRAME) + FCS_LEN) as u64;
         SimTime::from_nanos(wire_bytes * 8 * self.bit_ns)
-    }
-}
-
-/// Deterministic fault injection parameters.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FaultModel {
-    /// Probability a frame is lost.
-    pub loss: f64,
-    /// Probability a frame is duplicated.
-    pub duplicate: f64,
-    /// Probability a frame is delayed past its successors.
-    pub reorder: f64,
-    /// Extra delay applied to reordered (and duplicated) frames.
-    pub reorder_delay: SimTime,
-}
-
-impl FaultModel {
-    /// A perfect wire.
-    pub fn none() -> FaultModel {
-        FaultModel::default()
-    }
-
-    /// A lossy wire with the given loss probability.
-    pub fn lossy(loss: f64) -> FaultModel {
-        FaultModel {
-            loss,
-            ..FaultModel::default()
-        }
     }
 }
 
@@ -119,17 +108,27 @@ pub struct FrameTrace {
 /// The shared Ethernet medium.
 pub struct Ethernet {
     timing: EtherTiming,
-    faults: FaultModel,
+    /// Propagation delay added to every delivery (zero for the paper's
+    /// LAN segment; raise it to model a WAN link behind a router port).
+    propagation: SimTime,
+    /// Extra delay applied to reordered and duplicated frames.
+    reorder_delay: SimTime,
     stations: Vec<Rc<RefCell<dyn Station>>>,
     busy_until: SimTime,
-    rng: psd_sim::Rng,
     stats: EtherStats,
+    /// Always-on per-reason drop counters: every frame the medium kills
+    /// lands here with a typed reason, tracer attached or not.
+    drops: DropCounters,
     probe: Option<ProbeHandle>,
     trace: Option<Rc<RefCell<FrameTrace>>>,
-    /// Fault plane consulted per transmitted frame at
-    /// [`FaultSite::WireBurstLoss`]; an injection drops the frame and
-    /// the following `burst_len - 1` frames (correlated loss, the case
-    /// that defeats fast retransmit and forces an RTO).
+    /// Fault plane consulted per transmitted frame: [`FaultSite::LinkDown`]
+    /// (flap / partition windows), [`FaultSite::WireBurstLoss`] (an
+    /// injection drops the frame and the following `burst_len - 1`
+    /// frames — correlated loss, the case that defeats fast retransmit
+    /// and forces an RTO), then the independent per-frame sites
+    /// [`FaultSite::WireLoss`] / [`FaultSite::WireDuplicate`] /
+    /// [`FaultSite::WireReorder`]. With no plane attached (or an empty
+    /// one) the medium is a perfect wire and consumes no randomness.
     fault: Option<FaultPlaneHandle>,
     /// Frames still to drop from an in-progress loss burst.
     burst_remaining: u32,
@@ -143,16 +142,18 @@ pub struct Ethernet {
 pub type EthernetHandle = Rc<RefCell<Ethernet>>;
 
 impl Ethernet {
-    /// Creates a segment with the given timing and fault model. The
-    /// segment forks its own PRNG stream from the simulation.
-    pub fn new(sim: &mut Sim, timing: EtherTiming, faults: FaultModel) -> EthernetHandle {
+    /// Creates a segment with the given timing. The medium itself is
+    /// deterministic and owns no randomness: all faults come from an
+    /// attached fault plane.
+    pub fn new(timing: EtherTiming) -> EthernetHandle {
         Rc::new(RefCell::new(Ethernet {
             timing,
-            faults,
+            propagation: SimTime::ZERO,
+            reorder_delay: SimTime::from_millis(2),
             stations: Vec::new(),
             busy_until: SimTime::ZERO,
-            rng: sim.rng().fork(),
             stats: EtherStats::default(),
+            drops: DropCounters::default(),
             probe: None,
             trace: None,
             fault: None,
@@ -162,8 +163,8 @@ impl Ethernet {
     }
 
     /// A standard private 10 Mb/s segment with no faults.
-    pub fn ten_megabit(sim: &mut Sim) -> EthernetHandle {
-        Ethernet::new(sim, EtherTiming::ten_megabit(), FaultModel::none())
+    pub fn ten_megabit(_sim: &mut Sim) -> EthernetHandle {
+        Ethernet::new(EtherTiming::ten_megabit())
     }
 
     /// Attaches a station.
@@ -181,15 +182,29 @@ impl Ethernet {
         self.trace = trace;
     }
 
-    /// Replaces the fault model.
-    pub fn set_faults(&mut self, faults: FaultModel) {
-        self.faults = faults;
+    /// Sets the link propagation delay (zero by default; nonzero models
+    /// a WAN link: every delivery arrives that much later while the
+    /// wire is still only occupied for the serialization time).
+    pub fn set_propagation(&mut self, propagation: SimTime) {
+        self.propagation = propagation;
+    }
+
+    /// The link propagation delay.
+    pub fn propagation(&self) -> SimTime {
+        self.propagation
+    }
+
+    /// Sets the extra delay applied to reordered and duplicated frames.
+    pub fn set_reorder_delay(&mut self, delay: SimTime) {
+        self.reorder_delay = delay;
     }
 
     /// Attaches (or detaches) a fault plane. Each transmitted frame
-    /// visits [`FaultSite::WireBurstLoss`]; an unarmed plane never
-    /// consumes randomness, so attaching one does not perturb the
-    /// medium's own loss/duplication/reorder draws.
+    /// visits [`FaultSite::LinkDown`], the burst machinery
+    /// ([`FaultSite::WireBurstLoss`]), then [`FaultSite::WireLoss`],
+    /// [`FaultSite::WireDuplicate`] and [`FaultSite::WireReorder`]; an
+    /// unarmed plane never consumes randomness, so attaching one is
+    /// provably inert.
     pub fn set_fault_plane(&mut self, fault: Option<FaultPlaneHandle>) {
         self.fault = fault;
     }
@@ -212,6 +227,13 @@ impl Ethernet {
         self.stats
     }
 
+    /// Always-on per-reason drop counters for every frame the medium
+    /// killed (fault injections, malformed frames, frames nobody was
+    /// listening for).
+    pub fn drops(&self) -> DropCounters {
+        self.drops
+    }
+
     /// The wire timing.
     pub fn timing(&self) -> EtherTiming {
         self.timing
@@ -229,6 +251,31 @@ impl Ethernet {
         ready: SimTime,
         frame: Vec<u8>,
     ) -> SimTime {
+        Ethernet::transmit_impl(this, sim, ready, frame, None)
+    }
+
+    /// [`Ethernet::transmit`] for forwarding devices (switches,
+    /// routers): `sender` is the transmitting station's own address,
+    /// excluded from delivery. A forwarded frame keeps the original
+    /// host's source MAC, so without this a promiscuous switch port
+    /// would hear its own transmission and forward it forever.
+    pub fn transmit_from(
+        this: &EthernetHandle,
+        sim: &mut Sim,
+        ready: SimTime,
+        frame: Vec<u8>,
+        sender: EtherAddr,
+    ) -> SimTime {
+        Ethernet::transmit_impl(this, sim, ready, frame, Some(sender))
+    }
+
+    fn transmit_impl(
+        this: &EthernetHandle,
+        sim: &mut Sim,
+        ready: SimTime,
+        frame: Vec<u8>,
+        exclude: Option<EtherAddr>,
+    ) -> SimTime {
         let mut seg = this.borrow_mut();
         debug_assert!(frame.len() >= psd_wire::ETHER_HDR_LEN, "runt frame");
         seg.stats.tx_frames += 1;
@@ -238,13 +285,16 @@ impl Ethernet {
         }
         // The shared medium serializes transmissions (CSMA/CD without
         // collisions: the workloads here are request/response or one
-        // one-way stream, so contention backoff is negligible).
+        // one-way stream, so contention backoff is negligible). The
+        // wire is occupied for the serialization time only; propagation
+        // delays the delivery without blocking the next transmitter.
         let start = ready.max(seg.busy_until);
         let duration = seg.timing.frame_time(frame.len());
-        let arrival = start + duration;
-        seg.busy_until = arrival;
+        seg.busy_until = start + duration;
+        let arrival = start + duration + seg.propagation;
         if let Some(p) = &seg.probe {
-            p.borrow_mut().record(Layer::NetworkTransit, duration);
+            p.borrow_mut()
+                .record(Layer::NetworkTransit, duration + seg.propagation);
         }
         // Provenance: the wire frame gets its own trace id and a wire
         // span; every loss below is a typed terminal state.
@@ -255,19 +305,35 @@ impl Ethernet {
             id
         });
 
+        let drop_frame = |seg: &mut Ethernet, reason: DropReason, event: &'static str| {
+            seg.stats.dropped += 1;
+            seg.drops.note(reason);
+            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
+                let mut tr = t.borrow_mut();
+                tr.event(id, arrival, event);
+                tr.terminal(id, arrival, Terminal::Dropped(reason));
+            }
+        };
+
+        // Link down: a scripted visit range at this site models a flap
+        // or one side of a partition — every frame in the window dies.
+        let link_down = match &seg.fault {
+            Some(f) => f.borrow_mut().should_inject(FaultSite::LinkDown),
+            None => false,
+        };
+        if link_down {
+            drop_frame(&mut seg, DropReason::LinkDown, "fault:link-down");
+            return arrival;
+        }
+
         // Burst loss (fault plane or the drop_next_frames hook): the
         // frame is consumed from an in-progress burst, or starts one.
-        // Checked before the i.i.d. draws so an active burst does not
-        // consume the medium's own randomness; frames inside a burst
+        // Checked before the independent per-frame sites so an active
+        // burst consumes no further plane visits; frames inside a burst
         // do not count as WireBurstLoss visits.
         if seg.burst_remaining > 0 {
             seg.burst_remaining -= 1;
-            seg.stats.dropped += 1;
-            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
-                let mut tr = t.borrow_mut();
-                tr.event(id, arrival, "fault:wire-burst");
-                tr.terminal(id, arrival, Terminal::Dropped(DropReason::FaultInjected));
-            }
+            drop_frame(&mut seg, DropReason::FaultInjected, "fault:wire-burst");
             return arrival;
         }
         let plane_hit = match &seg.fault {
@@ -281,26 +347,26 @@ impl Ethernet {
                 .map(|f| f.borrow().burst_len())
                 .unwrap_or(1);
             seg.burst_remaining = burst.saturating_sub(1);
-            seg.stats.dropped += 1;
-            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
-                let mut tr = t.borrow_mut();
-                tr.event(id, arrival, "fault:wire-burst");
-                tr.terminal(id, arrival, Terminal::Dropped(DropReason::FaultInjected));
-            }
+            drop_frame(&mut seg, DropReason::FaultInjected, "fault:wire-burst");
             return arrival;
         }
 
-        // Fault injection.
-        let faults = seg.faults;
-        let lost = seg.rng.chance(faults.loss);
-        let duplicated = !lost && seg.rng.chance(faults.duplicate);
-        let reordered = !lost && seg.rng.chance(faults.reorder);
-        if lost {
-            seg.stats.dropped += 1;
-            if let (Some(t), Some(id)) = (&seg.tracer, wire_tid) {
-                t.borrow_mut()
-                    .terminal(id, arrival, Terminal::Dropped(DropReason::WireLoss));
+        // Independent per-frame fault sites (the retired `FaultModel`'s
+        // loss/duplicate/reorder, now first-class deterministic sites).
+        let (lost, duplicated, reordered) = match &seg.fault {
+            Some(f) => {
+                let mut f = f.borrow_mut();
+                let lost = f.should_inject(FaultSite::WireLoss);
+                // A lost frame still visits the other sites so visit
+                // numbering stays frame-aligned across all three.
+                let duplicated = f.should_inject(FaultSite::WireDuplicate) && !lost;
+                let reordered = f.should_inject(FaultSite::WireReorder) && !lost;
+                (lost, duplicated, reordered)
             }
+            None => (false, false, false),
+        };
+        if lost {
+            drop_frame(&mut seg, DropReason::WireLoss, "fault:wire-loss");
             return arrival;
         }
         if duplicated {
@@ -318,15 +384,15 @@ impl Ethernet {
                 tr.event(id, arrival, "reorder");
             }
         }
-        let extra = seg.faults.reorder_delay;
+        let extra = seg.reorder_delay;
         drop(seg);
 
         let deliver_at = if reordered { arrival + extra } else { arrival };
-        Ethernet::schedule_delivery(this, sim, deliver_at, frame.clone(), wire_tid);
+        Ethernet::schedule_delivery(this, sim, deliver_at, frame.clone(), wire_tid, exclude);
         if duplicated {
             // The duplicate's deliveries are traced as parentless
             // children: the wire frame must terminate exactly once.
-            Ethernet::schedule_delivery(this, sim, arrival + extra, frame, None);
+            Ethernet::schedule_delivery(this, sim, arrival + extra, frame, None, exclude);
         }
         arrival
     }
@@ -337,6 +403,7 @@ impl Ethernet {
         at: SimTime,
         frame: Vec<u8>,
         wire_tid: Option<TraceId>,
+        exclude: Option<EtherAddr>,
     ) {
         let seg = this.clone();
         sim.at(at, move |sim| {
@@ -344,6 +411,7 @@ impl Ethernet {
             let hdr = match EthernetHeader::parse(&frame) {
                 Ok(h) => h,
                 Err(_) => {
+                    seg.borrow_mut().drops.note(DropReason::MalformedFrame);
                     if let (Some(t), Some(id)) = (&tracer, wire_tid) {
                         t.borrow_mut().terminal(
                             id,
@@ -365,12 +433,19 @@ impl Ethernet {
                         let st = s.borrow();
                         let mac = st.mac();
                         mac != hdr.src
+                            && Some(mac) != exclude
                             && (hdr.dst.is_broadcast() || hdr.dst == mac || st.promiscuous())
                     })
                     .cloned()
                     .collect()
             };
-            seg.borrow_mut().stats.delivered += receivers.len() as u64;
+            {
+                let mut seg_mut = seg.borrow_mut();
+                seg_mut.stats.delivered += receivers.len() as u64;
+                if receivers.is_empty() {
+                    seg_mut.drops.note(DropReason::NoReceiver);
+                }
+            }
             // The wire frame's terminal: handed to at least one station,
             // or addressed to nobody listening.
             if let (Some(t), Some(id)) = (&tracer, wire_tid) {
@@ -565,38 +640,50 @@ mod tests {
         assert_eq!(b.borrow().received.len(), 2);
     }
 
+    fn wire_plane(seed: u64) -> psd_sim::FaultPlaneHandle {
+        let plane = psd_sim::FaultPlane::shared();
+        plane.borrow_mut().set_rng(psd_sim::Rng::new(seed));
+        plane
+    }
+
     #[test]
     fn loss_drops_frames_deterministically() {
-        let mut sim = Sim::new(7);
-        let seg = Ethernet::new(&mut sim, EtherTiming::ten_megabit(), FaultModel::lossy(0.5));
-        let b = TestStation::new(2);
-        seg.borrow_mut().attach(b.clone());
-        for _ in 0..100 {
-            let now = sim.now();
-            Ethernet::transmit(&seg, &mut sim, now, frame(1, EtherAddr::local(2), 10));
-            sim.run_to_idle();
-        }
-        let delivered = b.borrow().received.len();
-        let stats = seg.borrow().stats();
-        assert_eq!(delivered as u64 + stats.dropped, 100);
+        let run = |seed: u64| {
+            let mut sim = Sim::new(7);
+            let seg = Ethernet::new(EtherTiming::ten_megabit());
+            let plane = wire_plane(seed);
+            plane.borrow_mut().arm(FaultSite::WireLoss, 0.5);
+            seg.borrow_mut().set_fault_plane(Some(plane));
+            let b = TestStation::new(2);
+            seg.borrow_mut().attach(b.clone());
+            for _ in 0..100 {
+                let now = sim.now();
+                Ethernet::transmit(&seg, &mut sim, now, frame(1, EtherAddr::local(2), 10));
+                sim.run_to_idle();
+            }
+            let delivered = b.borrow().received.len();
+            let stats = seg.borrow().stats();
+            let drops = seg.borrow().drops();
+            assert_eq!(delivered as u64 + stats.dropped, 100);
+            assert_eq!(drops.get(DropReason::WireLoss), stats.dropped);
+            delivered
+        };
+        let delivered = run(11);
         assert!(
             delivered > 20 && delivered < 80,
             "≈50% expected, got {delivered}"
         );
+        assert_eq!(run(11), delivered, "same seed, same losses");
     }
 
     #[test]
     fn duplication_delivers_twice() {
         let mut sim = Sim::new(3);
-        let seg = Ethernet::new(
-            &mut sim,
-            EtherTiming::ten_megabit(),
-            FaultModel {
-                duplicate: 1.0,
-                reorder_delay: SimTime::from_micros(10),
-                ..FaultModel::default()
-            },
-        );
+        let seg = Ethernet::new(EtherTiming::ten_megabit());
+        let plane = psd_sim::FaultPlane::shared();
+        plane.borrow_mut().script(FaultSite::WireDuplicate, &[0]);
+        seg.borrow_mut().set_fault_plane(Some(plane));
+        seg.borrow_mut().set_reorder_delay(SimTime::from_micros(10));
         let b = TestStation::new(2);
         seg.borrow_mut().attach(b.clone());
         Ethernet::transmit(
@@ -607,27 +694,23 @@ mod tests {
         );
         sim.run_to_idle();
         assert_eq!(b.borrow().received.len(), 2);
+        assert_eq!(seg.borrow().stats().duplicated, 1);
     }
 
     #[test]
     fn reorder_delays_past_successor() {
         let mut sim = Sim::new(5);
-        let seg = Ethernet::new(
-            &mut sim,
-            EtherTiming::ten_megabit(),
-            FaultModel {
-                reorder: 1.0,
-                reorder_delay: SimTime::from_millis(5),
-                ..FaultModel::default()
-            },
-        );
+        let seg = Ethernet::new(EtherTiming::ten_megabit());
+        let plane = psd_sim::FaultPlane::shared();
+        plane.borrow_mut().script(FaultSite::WireReorder, &[0]);
+        seg.borrow_mut().set_fault_plane(Some(plane));
+        seg.borrow_mut().set_reorder_delay(SimTime::from_millis(5));
         let b = TestStation::new(2);
         seg.borrow_mut().attach(b.clone());
         let mut f1 = frame(1, EtherAddr::local(2), 10);
         f1[20] = 1;
         Ethernet::transmit(&seg, &mut sim, SimTime::ZERO, f1);
-        // Second frame sent later but with no faults.
-        seg.borrow_mut().set_faults(FaultModel::none());
+        // Second frame sent later; visit 1 is not scripted.
         let mut f2 = frame(1, EtherAddr::local(2), 10);
         f2[20] = 2;
         Ethernet::transmit(&seg, &mut sim, SimTime::from_micros(100), f2);
@@ -636,6 +719,53 @@ mod tests {
         assert_eq!(rx.len(), 2);
         assert_eq!(rx[0].1[20], 2, "second frame should arrive first");
         assert_eq!(rx[1].1[20], 1);
+    }
+
+    #[test]
+    fn link_down_window_drops_and_heals() {
+        let mut sim = Sim::new(9);
+        let seg = Ethernet::new(EtherTiming::ten_megabit());
+        let plane = psd_sim::FaultPlane::shared();
+        // Frames 1..3 hit a down link; frame 0 and frames ≥ 3 pass.
+        plane.borrow_mut().script_range(FaultSite::LinkDown, 1, 3);
+        seg.borrow_mut().set_fault_plane(Some(plane));
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        for _ in 0..5 {
+            let now = sim.now();
+            Ethernet::transmit(&seg, &mut sim, now, frame(1, EtherAddr::local(2), 10));
+            sim.run_to_idle();
+        }
+        assert_eq!(b.borrow().received.len(), 3);
+        assert_eq!(seg.borrow().drops().get(DropReason::LinkDown), 2);
+    }
+
+    #[test]
+    fn propagation_delays_delivery_without_occupying_the_wire() {
+        let mut sim = Sim::new(1);
+        let seg = Ethernet::new(EtherTiming::ten_megabit());
+        seg.borrow_mut().set_propagation(SimTime::from_millis(10));
+        let b = TestStation::new(2);
+        seg.borrow_mut().attach(b.clone());
+        let t1 = Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 29),
+        );
+        // 51.2 µs serialization + 10 ms propagation.
+        assert_eq!(t1, SimTime::from_nanos(10_051_200));
+        // The second frame serializes right behind the first: the wire
+        // is free after 51.2 µs, not after the propagation delay.
+        let t2 = Ethernet::transmit(
+            &seg,
+            &mut sim,
+            SimTime::ZERO,
+            frame(1, EtherAddr::local(2), 29),
+        );
+        assert_eq!(t2, SimTime::from_nanos(10_102_400));
+        sim.run_to_idle();
+        assert_eq!(b.borrow().received.len(), 2);
     }
 
     #[test]

@@ -341,6 +341,46 @@ fn rto_backs_off_exponentially() {
 }
 
 #[test]
+fn rto_backoff_is_capped_at_rto_max_under_sustained_blackout() {
+    let mut h = Harness::new();
+    h.connect();
+    h.drop_data_from_a = u32::MAX; // Sustained blackout.
+    h.send(0, &[1u8; 100]);
+    let mut last = SimTime::ZERO;
+    for _ in 0..MAX_RXT {
+        last = h.tcb[0].rto();
+        assert!(last <= RTO_MAX, "backoff never exceeds the cap");
+        h.fire_earliest_timer(0);
+    }
+    assert_eq!(last, RTO_MAX, "a long blackout walks the RTO to the cap");
+}
+
+#[test]
+fn karns_rule_ignores_the_ambiguous_ack_after_a_link_flap() {
+    let mut h = Harness::new();
+    h.connect();
+    // A clean exchange seeds the RTT estimator.
+    h.send(0, &[1u8; 100]);
+    h.settle();
+    h.recv_all(1);
+    let srtt_before = h.tcb[0].srtt().expect("estimator seeded");
+    // Link flap: the segment dies, the retransmission timer fires, and
+    // the ACK (of the retransmission) only returns after the link heals
+    // 5 virtual seconds later.
+    h.drop_data_from_a = 1;
+    h.send(0, &[2u8; 100]);
+    h.pump();
+    h.fire_timer(0, TcpTimer::Rexmt);
+    h.now += SimTime::from_secs(5);
+    h.pump();
+    h.recv_all(1);
+    // Karn: an ACK for a retransmitted segment is ambiguous — it must
+    // not feed the estimator, or the 5 s "sample" would wreck it.
+    let srtt_after = h.tcb[0].srtt().expect("estimator still valid");
+    assert_eq!(srtt_after, srtt_before, "ambiguous sample was discarded");
+}
+
+#[test]
 fn connection_times_out_after_max_retransmits() {
     let mut h = Harness::new();
     h.connect();

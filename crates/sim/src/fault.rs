@@ -50,13 +50,32 @@ pub enum FaultSite {
     /// original owner.
     MigrationCapsule,
     /// A burst of consecutive frames is lost on the wire (correlated
-    /// loss, unlike the i.i.d. `FaultModel` probabilities).
+    /// loss, unlike the independent per-frame [`FaultSite::WireLoss`]).
     WireBurstLoss,
+    /// One frame is lost on the wire, independently per frame (the
+    /// fault-plane replacement for the retired `FaultModel::loss`).
+    WireLoss,
+    /// One frame is delivered twice by the medium (replaces
+    /// `FaultModel::duplicate`).
+    WireDuplicate,
+    /// One frame's delivery is delayed past its successor (replaces
+    /// `FaultModel::reorder`).
+    WireReorder,
+    /// A link goes down for this frame: the segment consults the site
+    /// once per transmitted frame, so a scripted visit *range* models a
+    /// flap or a partition (heal = the end of the range).
+    LinkDown,
+    /// A router/switch egress queue reports full regardless of its real
+    /// depth, forcing a tail-drop burst.
+    LinkQueueFull,
+    /// A router with an alternate next hop routes this packet via the
+    /// alternate, creating asymmetric / flapping routes.
+    RouteFlip,
 }
 
 impl FaultSite {
     /// Every site, in fault-plane presentation order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 13] = [
         FaultSite::ProxyRpc,
         FaultSite::ShmRing,
         FaultSite::FilterTable,
@@ -64,6 +83,12 @@ impl FaultSite {
         FaultSite::ServerCrash,
         FaultSite::MigrationCapsule,
         FaultSite::WireBurstLoss,
+        FaultSite::WireLoss,
+        FaultSite::WireDuplicate,
+        FaultSite::WireReorder,
+        FaultSite::LinkDown,
+        FaultSite::LinkQueueFull,
+        FaultSite::RouteFlip,
     ];
 
     /// Short label used in fault-plane snapshots.
@@ -76,6 +101,12 @@ impl FaultSite {
             FaultSite::ServerCrash => "server_crash",
             FaultSite::MigrationCapsule => "migration_capsule",
             FaultSite::WireBurstLoss => "wire_burst_loss",
+            FaultSite::WireLoss => "wire_loss",
+            FaultSite::WireDuplicate => "wire_duplicate",
+            FaultSite::WireReorder => "wire_reorder",
+            FaultSite::LinkDown => "link_down",
+            FaultSite::LinkQueueFull => "link_queue_full",
+            FaultSite::RouteFlip => "route_flip",
         }
     }
 
@@ -88,10 +119,16 @@ impl FaultSite {
             FaultSite::ServerCrash => 4,
             FaultSite::MigrationCapsule => 5,
             FaultSite::WireBurstLoss => 6,
+            FaultSite::WireLoss => 7,
+            FaultSite::WireDuplicate => 8,
+            FaultSite::WireReorder => 9,
+            FaultSite::LinkDown => 10,
+            FaultSite::LinkQueueFull => 11,
+            FaultSite::RouteFlip => 12,
         }
     }
 
-    const COUNT: usize = 7;
+    const COUNT: usize = 13;
 }
 
 #[derive(Debug, Default, Clone)]
@@ -177,6 +214,13 @@ impl FaultPlane {
     /// a fresh plane).
     pub fn script(&mut self, site: FaultSite, visits: &[u64]) {
         self.sites[site.index()].scripted.extend(visits);
+    }
+
+    /// Scripts the site to inject at every visit in `[start, end)` —
+    /// the natural shape for a link flap or a partition window, where
+    /// the heal is the end of the range.
+    pub fn script_range(&mut self, site: FaultSite, start: u64, end: u64) {
+        self.sites[site.index()].scripted.extend(start..end);
     }
 
     /// Arms the site with a per-visit injection probability, drawn from

@@ -147,11 +147,20 @@ pub enum DropReason {
     ReassemblyTimeout,
     /// Packet dropped awaiting ARP resolution (protocol retransmits).
     ArpUnresolved,
+    /// A bounded egress queue was full (drop-tail discipline).
+    QueueTailDrop,
+    /// Random Early Detection dropped the packet before the queue
+    /// filled.
+    RedEarlyDrop,
+    /// The link was down (fault-plane flap or partition window).
+    LinkDown,
+    /// TTL reached zero in a router (ICMP Time Exceeded answered).
+    TtlExpired,
 }
 
 impl DropReason {
     /// Every reason, in presentation order.
-    pub const ALL: [DropReason; 19] = [
+    pub const ALL: [DropReason; 23] = [
         DropReason::FilterMiss,
         DropReason::EndpointDead,
         DropReason::FaultInjected,
@@ -171,6 +180,10 @@ impl DropReason {
         DropReason::SocketOverflow,
         DropReason::ReassemblyTimeout,
         DropReason::ArpUnresolved,
+        DropReason::QueueTailDrop,
+        DropReason::RedEarlyDrop,
+        DropReason::LinkDown,
+        DropReason::TtlExpired,
     ];
 
     /// Short label used in census snapshots and trace JSON.
@@ -195,6 +208,10 @@ impl DropReason {
             DropReason::SocketOverflow => "socket-overflow",
             DropReason::ReassemblyTimeout => "reassembly-timeout",
             DropReason::ArpUnresolved => "arp-unresolved",
+            DropReason::QueueTailDrop => "queue-tail-drop",
+            DropReason::RedEarlyDrop => "red-early-drop",
+            DropReason::LinkDown => "link-down",
+            DropReason::TtlExpired => "ttl-expired",
         }
     }
 
@@ -207,7 +224,7 @@ impl DropReason {
     }
 
     /// Number of reasons.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 23;
 }
 
 /// Always-on per-reason drop counters, embedded in component stats

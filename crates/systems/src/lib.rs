@@ -24,11 +24,12 @@ use std::rc::Rc;
 
 use psd_core::{AppHandle, AppLib};
 use psd_kernel::{Kernel, KernelHandle, RxMode};
-use psd_netdev::{Ethernet, EthernetHandle, FaultModel};
+use psd_netdev::topology::{QueueDisc, Router, RouterHandle, RouterRoute, Switch, SwitchHandle};
+use psd_netdev::{EtherTiming, Ethernet, EthernetHandle};
 use psd_netstack::stack::StackHandle;
 use psd_netstack::{NetStack, Placement, RouteTable};
 use psd_server::{KernelNetIf, OsServer, PortNamespace, ServerHandle};
-use psd_sim::{CostModel, Cpu, Platform, Sim};
+use psd_sim::{CostModel, Cpu, FaultSite, Platform, Sim, SimTime};
 use psd_wire::EtherAddr;
 
 pub use psd_sim::Platform as HostPlatform;
@@ -221,23 +222,26 @@ pub struct TestBed {
 impl TestBed {
     /// Builds a two-host testbed.
     pub fn new(config: SystemConfig, platform: Platform, seed: u64) -> TestBed {
-        TestBed::with_faults(config, platform, seed, FaultModel::none())
-    }
-
-    /// Builds a two-host testbed with wire fault injection.
-    pub fn with_faults(
-        config: SystemConfig,
-        platform: Platform,
-        seed: u64,
-        faults: FaultModel,
-    ) -> TestBed {
         let mut sim = Sim::new(seed);
-        let ether = Ethernet::new(&mut sim, psd_netdev::EtherTiming::ten_megabit(), faults);
+        let ether = Ethernet::new(EtherTiming::ten_megabit());
         let costs = config.cost_model(platform);
         let mut hosts = Vec::new();
         for i in 0..2u32 {
             let ip = Ipv4Addr::new(10, 0, 0, 1 + i as u8);
-            let host = build_host(&mut sim, &ether, config, costs.clone(), ip, i + 1, platform);
+            let routes = RouteTable::directly_attached(
+                Ipv4Addr::new(10, 0, 0, 0),
+                Ipv4Addr::new(255, 255, 255, 0),
+            );
+            let host = build_host(
+                &mut sim,
+                &ether,
+                config,
+                costs.clone(),
+                ip,
+                i + 1,
+                platform,
+                routes,
+            );
             hosts.push(host);
         }
         TestBed {
@@ -247,6 +251,38 @@ impl TestBed {
             config,
             platform,
         }
+    }
+
+    /// Attaches a wire-only fault plane and arms the independent frame
+    /// sites (probabilities of 0 leave a site disarmed). This is the
+    /// deterministic replacement for the retired ad-hoc `FaultModel`:
+    /// the same seed always produces the same loss/duplicate/reorder
+    /// pattern, and the plane's draws never touch the simulation RNG.
+    pub fn arm_wire_faults(
+        &mut self,
+        seed: u64,
+        loss: f64,
+        duplicate: f64,
+        reorder: f64,
+    ) -> psd_sim::FaultPlaneHandle {
+        let plane = psd_sim::FaultPlane::shared();
+        {
+            let mut p = plane.borrow_mut();
+            p.set_rng(psd_sim::Rng::new(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            ));
+            if loss > 0.0 {
+                p.arm(FaultSite::WireLoss, loss);
+            }
+            if duplicate > 0.0 {
+                p.arm(FaultSite::WireDuplicate, duplicate);
+            }
+            if reorder > 0.0 {
+                p.arm(FaultSite::WireReorder, reorder);
+            }
+        }
+        self.ether.borrow_mut().set_fault_plane(Some(plane.clone()));
+        plane
     }
 
     /// Attaches a fresh operation census to every host CPU, returning
@@ -316,6 +352,245 @@ impl TestBed {
     }
 }
 
+/// Two hosts at opposite ends of a multi-hop internet:
+///
+/// ```text
+/// host0 ── segA0 ══ switch ══ segA1 ── R1 ═╦═ segM1 (primary) ═╦═ R2 ── segB ── host1
+/// 10.0.1.1                     10.0.1.254  ╚═ segM2 (alternate)╝ 10.0.2.254     10.0.2.1
+/// ```
+///
+/// The access segments are 10 Mb/s LANs; the two middle segments are
+/// slower 2 Mb/s links with WAN propagation delay, so the routers'
+/// bounded egress queues actually congest. R1→R2 primary egress runs
+/// RED; everything else is drop-tail. Both routers carry an alternate
+/// route over `segM2`, taken only when the fault plane injects
+/// [`FaultSite::RouteFlip`]. Hosts reach each other through default
+/// routes via their local router — the full gateway-ARP, TTL-decrement,
+/// store-and-forward path.
+pub struct MultiHopBed {
+    /// The simulation.
+    pub sim: Sim,
+    /// All segments: `[segA0, segA1, segM1, segM2, segB]`.
+    pub segments: Vec<EthernetHandle>,
+    /// The access-side learning switch.
+    pub switch: SwitchHandle,
+    /// The two routers `[r1, r2]`.
+    pub routers: Vec<RouterHandle>,
+    /// The two hosts (`hosts[0]` = 10.0.1.1, `hosts[1]` = 10.0.2.1).
+    pub hosts: Vec<Host>,
+    /// The configuration under test.
+    pub config: SystemConfig,
+    /// The hardware platform.
+    pub platform: Platform,
+}
+
+/// Index of the middle primary segment in [`MultiHopBed::segments`].
+pub const SEG_MID_PRIMARY: usize = 2;
+/// Index of the middle alternate segment in [`MultiHopBed::segments`].
+pub const SEG_MID_ALTERNATE: usize = 3;
+
+impl MultiHopBed {
+    /// Builds the five-segment diamond topology above.
+    pub fn new(config: SystemConfig, platform: Platform, seed: u64) -> MultiHopBed {
+        let mut sim = Sim::new(seed);
+        let ip = Ipv4Addr::new;
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+
+        let seg_a0 = Ethernet::new(EtherTiming::ten_megabit());
+        let seg_a1 = Ethernet::new(EtherTiming::ten_megabit());
+        let seg_m1 = Ethernet::new(EtherTiming::megabit(2));
+        let seg_m2 = Ethernet::new(EtherTiming::megabit(2));
+        let seg_b = Ethernet::new(EtherTiming::ten_megabit());
+        // WAN propagation on the middle links: ~10 ms RTT end to end.
+        seg_m1.borrow_mut().set_propagation(SimTime::from_millis(5));
+        seg_m2.borrow_mut().set_propagation(SimTime::from_millis(5));
+
+        // Devices fork the sim RNG at construction, so build order is
+        // part of the deterministic contract: switch, R1, R2.
+        let switch = Switch::new(&mut sim);
+        Switch::add_port(&switch, &seg_a0, 10, QueueDisc::DropTail { capacity: 32 });
+        Switch::add_port(&switch, &seg_a1, 11, QueueDisc::DropTail { capacity: 32 });
+
+        let tail = |capacity| QueueDisc::DropTail { capacity };
+        let red = QueueDisc::Red {
+            capacity: 16,
+            min_th: 4,
+            max_th: 12,
+            max_p: 0.2,
+        };
+
+        let r1 = Router::new(&mut sim);
+        let r1_a = Router::add_port(&r1, &seg_a1, 20, ip(10, 0, 1, 254), tail(32));
+        let r1_m1 = Router::add_port(&r1, &seg_m1, 21, ip(10, 0, 3, 1), red);
+        let r1_m2 = Router::add_port(&r1, &seg_m2, 22, ip(10, 0, 4, 1), tail(16));
+        {
+            let mut r = r1.borrow_mut();
+            for (net, port) in [
+                (ip(10, 0, 1, 0), r1_a),
+                (ip(10, 0, 3, 0), r1_m1),
+                (ip(10, 0, 4, 0), r1_m2),
+            ] {
+                r.add_route(RouterRoute {
+                    net,
+                    mask,
+                    port,
+                    next_hop: None,
+                    alt: None,
+                });
+            }
+            r.add_route(RouterRoute {
+                net: ip(10, 0, 2, 0),
+                mask,
+                port: r1_m1,
+                next_hop: Some(ip(10, 0, 3, 2)),
+                alt: Some((r1_m2, ip(10, 0, 4, 2))),
+            });
+        }
+
+        let r2 = Router::new(&mut sim);
+        let r2_b = Router::add_port(&r2, &seg_b, 30, ip(10, 0, 2, 254), tail(32));
+        let r2_m1 = Router::add_port(&r2, &seg_m1, 31, ip(10, 0, 3, 2), tail(16));
+        let r2_m2 = Router::add_port(&r2, &seg_m2, 32, ip(10, 0, 4, 2), tail(16));
+        {
+            let mut r = r2.borrow_mut();
+            for (net, port) in [
+                (ip(10, 0, 2, 0), r2_b),
+                (ip(10, 0, 3, 0), r2_m1),
+                (ip(10, 0, 4, 0), r2_m2),
+            ] {
+                r.add_route(RouterRoute {
+                    net,
+                    mask,
+                    port,
+                    next_hop: None,
+                    alt: None,
+                });
+            }
+            r.add_route(RouterRoute {
+                net: ip(10, 0, 1, 0),
+                mask,
+                port: r2_m1,
+                next_hop: Some(ip(10, 0, 3, 1)),
+                alt: Some((r2_m2, ip(10, 0, 4, 1))),
+            });
+        }
+
+        let costs = config.cost_model(platform);
+        let mut hosts = Vec::new();
+        for (i, (seg, net, gw)) in [
+            (&seg_a0, ip(10, 0, 1, 0), ip(10, 0, 1, 254)),
+            (&seg_b, ip(10, 0, 2, 0), ip(10, 0, 2, 254)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut routes = RouteTable::directly_attached(net, mask);
+            routes.add_default(gw);
+            let host_ip = Ipv4Addr::new(10, 0, 1 + i as u8, 1);
+            let host = build_host(
+                &mut sim,
+                seg,
+                config,
+                costs.clone(),
+                host_ip,
+                1 + i as u32,
+                platform,
+                routes,
+            );
+            hosts.push(host);
+        }
+
+        MultiHopBed {
+            sim,
+            segments: vec![seg_a0, seg_a1, seg_m1, seg_m2, seg_b],
+            switch,
+            routers: vec![r1, r2],
+            hosts,
+            config,
+            platform,
+        }
+    }
+
+    /// Attaches one shared fault plane to every host CPU, every
+    /// segment, the switch, and both routers, returning its handle.
+    /// Same contract as [`TestBed::attach_fault_plane`]: the empty
+    /// plane is inert and consumes no randomness.
+    pub fn attach_fault_plane(&mut self) -> psd_sim::FaultPlaneHandle {
+        let plane = psd_sim::FaultPlane::shared();
+        plane
+            .borrow_mut()
+            .set_rng(psd_sim::Rng::new(0x9E37_79B9_7F4A_7C15));
+        for h in &self.hosts {
+            h.cpu.borrow_mut().set_fault_plane(Some(plane.clone()));
+        }
+        for seg in &self.segments {
+            seg.borrow_mut().set_fault_plane(Some(plane.clone()));
+        }
+        self.switch
+            .borrow_mut()
+            .set_fault_plane(Some(plane.clone()));
+        for r in &self.routers {
+            r.borrow_mut().set_fault_plane(Some(plane.clone()));
+        }
+        plane
+    }
+
+    /// Attaches a separate fault plane to one segment only (targeted
+    /// partitions: down `segM1` without touching the rest).
+    pub fn attach_segment_fault_plane(&mut self, seg: usize) -> psd_sim::FaultPlaneHandle {
+        let plane = psd_sim::FaultPlane::shared();
+        plane
+            .borrow_mut()
+            .set_rng(psd_sim::Rng::new(0x9E37_79B9_7F4A_7C15));
+        self.segments[seg]
+            .borrow_mut()
+            .set_fault_plane(Some(plane.clone()));
+        plane
+    }
+
+    /// Attaches a fresh packet-lifecycle tracer everywhere, returning
+    /// its handle.
+    pub fn attach_tracer(&mut self) -> psd_sim::TraceHandle {
+        let tracer = psd_sim::Tracer::shared();
+        for h in &self.hosts {
+            h.cpu.borrow_mut().set_tracer(Some(tracer.clone()));
+        }
+        for seg in &self.segments {
+            seg.borrow_mut().set_tracer(Some(tracer.clone()));
+        }
+        self.switch.borrow_mut().set_tracer(Some(tracer.clone()));
+        for r in &self.routers {
+            r.borrow_mut().set_tracer(Some(tracer.clone()));
+        }
+        tracer
+    }
+
+    /// Attaches a fresh operation census to every host CPU (one handle
+    /// per host, in `hosts` order).
+    pub fn attach_census(&mut self) -> Vec<psd_sim::CensusHandle> {
+        self.hosts
+            .iter()
+            .map(|h| {
+                let census = psd_sim::Census::shared();
+                h.cpu.borrow_mut().set_census(Some(census.clone()));
+                census
+            })
+            .collect()
+    }
+
+    /// Runs the simulation until idle.
+    pub fn settle(&mut self) {
+        self.sim.run_to_idle();
+    }
+
+    /// Runs the simulation for a bounded virtual duration.
+    pub fn run_for(&mut self, d: SimTime) {
+        let deadline = self.sim.now() + d;
+        self.sim.run_until(deadline);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn build_host(
     sim: &mut Sim,
     ether: &EthernetHandle,
@@ -324,12 +599,11 @@ fn build_host(
     ip: Ipv4Addr,
     station: u32,
     platform: Platform,
+    routes: RouteTable,
 ) -> Host {
     let cpu = Rc::new(RefCell::new(Cpu::new()));
     let kernel = Kernel::new(costs.clone(), cpu.clone(), EtherAddr::local(station));
     Kernel::connect(&kernel, ether);
-    let routes =
-        RouteTable::directly_attached(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(255, 255, 255, 0));
     let rcvbuf = config.best_recv_buffer(platform);
 
     if config.is_inkernel() {
@@ -493,6 +767,108 @@ mod tests {
         // fresh connect's SYN MSS via the stack API surface: indirect,
         // so assert the configuration path instead.
         assert!(bed.hosts[0].kern_stack.is_some());
+    }
+
+    #[test]
+    fn multihop_bed_routes_tcp_end_to_end() {
+        // 16 KB through switch + two routers + WAN-delay middle links,
+        // twice with the same seed: the transfer completes, the routers
+        // actually forwarded it, and the virtual clock agrees exactly.
+        let t1 = multihop::transfer(SystemConfig::LibraryShm, Platform::DecStation5000_200, 5);
+        let t2 = multihop::transfer(SystemConfig::LibraryShm, Platform::DecStation5000_200, 5);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn multihop_bed_works_for_inkernel_and_server_configs() {
+        for config in [SystemConfig::Mach25InKernel, SystemConfig::UxServer] {
+            multihop::transfer(config, Platform::DecStation5000_200, 3);
+        }
+    }
+
+    /// A small TCP transfer across the [`MultiHopBed`] diamond.
+    mod multihop {
+        use super::super::*;
+        use psd_core::{AppLib, Fd, FdEventFn};
+        use psd_netstack::{InetAddr, SockEvent};
+        use psd_server::Proto;
+        use psd_sim::SimTime;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        const BYTES: usize = 16 * 1024;
+
+        pub fn transfer(config: SystemConfig, platform: Platform, seed: u64) -> u64 {
+            let mut bed = MultiHopBed::new(config, platform, seed);
+            let rx_app = bed.hosts[1].spawn_app();
+            let got = Rc::new(RefCell::new(0usize));
+            let lfd = AppLib::socket(&rx_app, &mut bed.sim, Proto::Tcp);
+            AppLib::bind(&rx_app, &mut bed.sim, lfd, 5001).unwrap();
+            AppLib::listen(&rx_app, &mut bed.sim, lfd, 1).unwrap();
+            {
+                let app = rx_app.clone();
+                let conn_app = rx_app.clone();
+                let got2 = got.clone();
+                let conn: FdEventFn = Rc::new(RefCell::new(
+                    move |sim: &mut psd_sim::Sim, fd: Fd, ev: SockEvent| {
+                        if ev == SockEvent::Readable {
+                            let mut buf = [0u8; 8192];
+                            while let Ok(n) = AppLib::recv(&conn_app, sim, fd, &mut buf) {
+                                if n == 0 {
+                                    break;
+                                }
+                                *got2.borrow_mut() += n;
+                            }
+                        }
+                    },
+                ));
+                let listen: FdEventFn = Rc::new(RefCell::new(
+                    move |sim: &mut psd_sim::Sim, fd: Fd, ev: SockEvent| {
+                        if ev == SockEvent::Readable {
+                            while let Ok(c) = AppLib::accept(&app, sim, fd) {
+                                app.borrow_mut().set_event_handler(c, conn.clone());
+                            }
+                        }
+                    },
+                ));
+                rx_app.borrow_mut().set_event_handler(lfd, listen);
+            }
+            let tx_app = bed.hosts[0].spawn_app();
+            let cfd = AppLib::socket(&tx_app, &mut bed.sim, Proto::Tcp);
+            let sent = Rc::new(RefCell::new(0usize));
+            {
+                let app = tx_app.clone();
+                let sent = sent.clone();
+                let h: FdEventFn = Rc::new(RefCell::new(
+                    move |sim: &mut psd_sim::Sim, fd: Fd, ev: SockEvent| {
+                        if matches!(ev, SockEvent::Connected | SockEvent::Writable) {
+                            while *sent.borrow() < BYTES {
+                                match AppLib::send(&app, sim, fd, &[7u8; 4096]) {
+                                    Ok(n) => *sent.borrow_mut() += n,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    },
+                ));
+                tx_app.borrow_mut().set_event_handler(cfd, h);
+            }
+            let dst = InetAddr::new(bed.hosts[1].ip, 5001);
+            AppLib::connect(&tx_app, &mut bed.sim, cfd, dst).unwrap();
+            while *got.borrow() < BYTES {
+                let t = bed.sim.now() + SimTime::from_millis(100);
+                bed.sim.run_until(t);
+                assert!(bed.sim.now() < SimTime::from_secs(300), "stalled");
+            }
+            for r in &bed.routers {
+                assert!(r.borrow().stats().forwarded > 0, "router on the path");
+            }
+            assert!(
+                bed.switch.borrow().stats().forwarded > 0,
+                "switch on the path"
+            );
+            bed.sim.now().as_nanos()
+        }
     }
 
     #[test]

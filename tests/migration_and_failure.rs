@@ -6,7 +6,6 @@ mod common;
 
 use common::{run_until, tcp_client, tcp_echo_server};
 use psd::core::AppLib;
-use psd::netdev::FaultModel;
 use psd::netstack::InetAddr;
 use psd::server::Proto;
 use psd::sim::{Platform, SimTime};
@@ -15,12 +14,12 @@ use psd::systems::{SystemConfig, TestBed};
 #[test]
 fn tcp_transfer_survives_frame_loss_in_library_mode() {
     // 5% loss on the wire; the transfer must still complete exactly.
-    let mut bed = TestBed::with_faults(
+    let mut bed = TestBed::new(
         SystemConfig::LibraryShmIpf,
         Platform::DecStation5000_200,
         31,
-        FaultModel::lossy(0.05),
     );
+    bed.arm_wire_faults(31, 0.05, 0.0, 0.0);
     let server_app = bed.hosts[1].spawn_app();
     let echoed = tcp_echo_server(&mut bed, &server_app, 80);
     let client_app = bed.hosts[0].spawn_app();
@@ -69,17 +68,11 @@ fn tcp_transfer_survives_frame_loss_in_library_mode() {
 
 #[test]
 fn reordering_and_duplication_do_not_corrupt_the_stream() {
-    let mut bed = TestBed::with_faults(
-        SystemConfig::LibraryShm,
-        Platform::DecStation5000_200,
-        37,
-        FaultModel {
-            duplicate: 0.05,
-            reorder: 0.05,
-            reorder_delay: SimTime::from_millis(3),
-            ..FaultModel::default()
-        },
-    );
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 37);
+    bed.arm_wire_faults(37, 0.0, 0.05, 0.05);
+    bed.ether
+        .borrow_mut()
+        .set_reorder_delay(SimTime::from_millis(3));
     let server_app = bed.hosts[1].spawn_app();
     tcp_echo_server(&mut bed, &server_app, 80);
     let client_app = bed.hosts[0].spawn_app();

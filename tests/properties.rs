@@ -312,7 +312,6 @@ proptest! {
         reorder in 0.0f64..0.08,
     ) {
         use psd::core::{AppLib, Fd, FdEventFn};
-        use psd::netdev::FaultModel;
         use psd::netstack::{InetAddr, SockEvent};
         use psd::server::Proto;
         use psd::sim::{Platform, SimTime};
@@ -320,17 +319,8 @@ proptest! {
         use std::cell::RefCell;
         use std::rc::Rc;
 
-        let mut bed = TestBed::with_faults(
-            SystemConfig::LibraryShm,
-            Platform::DecStation5000_200,
-            seed,
-            FaultModel {
-                loss,
-                duplicate: dup,
-                reorder,
-                reorder_delay: SimTime::from_millis(2),
-            },
-        );
+        let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, seed);
+        bed.arm_wire_faults(seed, loss, dup, reorder);
         let rx_app = bed.hosts[1].spawn_app();
         let received: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
         let lfd = AppLib::socket(&rx_app, &mut bed.sim, Proto::Tcp);

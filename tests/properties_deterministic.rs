@@ -338,7 +338,6 @@ fn ip_reassembly_from_random_fragment_order() {
 fn tcp_delivery_is_exactly_once_in_order_under_faults() {
     cases(0x5eed_000d, 3, |rng| {
         use psd::core::{AppLib, Fd, FdEventFn};
-        use psd::netdev::FaultModel;
         use psd::netstack::{InetAddr, SockEvent};
         use psd::server::Proto;
         use psd::sim::{Platform, SimTime};
@@ -350,17 +349,8 @@ fn tcp_delivery_is_exactly_once_in_order_under_faults() {
         let loss = rng.f64() * 0.12;
         let dup = rng.f64() * 0.08;
         let reorder = rng.f64() * 0.08;
-        let mut bed = TestBed::with_faults(
-            SystemConfig::LibraryShm,
-            Platform::DecStation5000_200,
-            seed,
-            FaultModel {
-                loss,
-                duplicate: dup,
-                reorder,
-                reorder_delay: SimTime::from_millis(2),
-            },
-        );
+        let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, seed);
+        bed.arm_wire_faults(seed, loss, dup, reorder);
         let rx_app = bed.hosts[1].spawn_app();
         let received: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
         let lfd = AppLib::socket(&rx_app, &mut bed.sim, Proto::Tcp);
