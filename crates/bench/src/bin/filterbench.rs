@@ -1,0 +1,140 @@
+//! Filter microbenchmark CLI.
+//!
+//! ```text
+//! filterbench [--quick] [--json PATH] [--digest PATH]
+//!             [--check-baseline PATH] [--schema PATH] [--min-speedup X]
+//! ```
+//!
+//! Prints the human table to stdout. `--json` writes the machine
+//! artifact (the committed `BENCH_8.json` is a full run's output).
+//! `--digest` writes the *normalized* artifact — volatile wall-clock
+//! fields zeroed — which must be byte-identical between two same-seed
+//! runs (CI runs twice and diffs the digests). `--check-baseline`
+//! compares this run's ns/match in the (Cspf, Compiled, 4096) cell
+//! against a committed artifact and exits nonzero on a >20%
+//! regression. `--schema` validates the artifact against a schema file
+//! before writing it. `--min-speedup` exits nonzero when the
+//! compiled:interpreted ns/match ratio at CSPF/4096 falls below the
+//! given floor.
+
+use std::process::ExitCode;
+
+use psd_bench::filterbench;
+use psd_bench::json::Json;
+use psd_filter::DemuxStrategy;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut digest_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut schema_path: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = args.next(),
+            "--digest" => digest_path = args.next(),
+            "--check-baseline" => baseline_path = args.next(),
+            "--schema" => schema_path = args.next(),
+            "--min-speedup" => {
+                min_speedup = args.next().and_then(|v| v.parse().ok());
+                if min_speedup.is_none() {
+                    eprintln!("filterbench: --min-speedup needs a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: filterbench [--quick] [--json PATH] [--digest PATH] \
+                     [--check-baseline PATH] [--schema PATH] [--min-speedup X]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("filterbench: unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let bench = filterbench::run(quick);
+    print!("{}", bench.table());
+    let artifact = bench.to_json();
+
+    if let Some(path) = &schema_path {
+        let schema_text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("filterbench: cannot read schema {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = filterbench::validate_artifact(&artifact, &schema_text) {
+            eprintln!("filterbench: artifact violates schema: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("filterbench: artifact validates against {path}");
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, artifact.write()) {
+            eprintln!("filterbench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("filterbench: wrote {path}");
+    }
+
+    if let Some(path) = &digest_path {
+        if let Err(e) = std::fs::write(path, filterbench::normalized_text(&artifact)) {
+            eprintln!("filterbench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("filterbench: wrote normalized digest to {path}");
+    }
+
+    if let Some(path) = &baseline_path {
+        let committed = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("filterbench: cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("filterbench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match filterbench::check_against_baseline(&bench, &committed, 0.2) {
+            Ok((ns, committed_ns)) => {
+                eprintln!("filterbench: gate ok — {ns:.0} ns/match vs committed {committed_ns:.0}")
+            }
+            Err(e) => {
+                eprintln!("filterbench: GATE FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(floor) = min_speedup {
+        match bench.speedup_at(DemuxStrategy::Cspf, 4096) {
+            Some(s) if s >= floor => {
+                eprintln!("filterbench: speedup ok — {s:.2}x >= {floor:.2}x at CSPF/4096");
+            }
+            Some(s) => {
+                eprintln!("filterbench: SPEEDUP FAILED — {s:.2}x < {floor:.2}x at CSPF/4096");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("filterbench: SPEEDUP FAILED — no CSPF/4096 cell in this run");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -24,6 +24,7 @@
 
 use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
 use psd_bench::{protolat, ttcp, ApiStyle};
+use psd_filter::FilterEngine;
 use psd_server::Proto;
 use psd_sim::Platform;
 use psd_systems::TestBed;
@@ -42,6 +43,17 @@ fn main() {
     let want_stages = args.iter().any(|a| a == "--stages");
     let trace_out = flag_value(&args, "--trace-out");
     let census_json = flag_value(&args, "--census-json");
+    // Like `--faults`, the engine choice must never show in the output:
+    // the compiled filter tier is observationally identical to the
+    // interpreter, and CI byte-diffs a run under each engine.
+    let engine = match flag_value(&args, "--filter-engine").as_deref() {
+        Some("compiled") => FilterEngine::Compiled,
+        Some("interpret") | None => FilterEngine::Interpret,
+        Some(other) => {
+            eprintln!("table2: unknown --filter-engine '{other}'");
+            std::process::exit(2);
+        }
+    };
     let tracing = trace_out.is_some() || want_stages;
     let mut trace_events = String::new();
     let mut census_docs: Vec<String> = Vec::new();
@@ -74,6 +86,7 @@ fn main() {
             let row_tracer = tracing.then(psd_sim::Tracer::shared);
             // Throughput.
             let mut bed = TestBed::new(config, platform, 42);
+            bed.set_filter_engine(engine);
             let censuses = (want_census || census_json.is_some()).then(|| bed.attach_census());
             if want_faults {
                 let _plane = bed.attach_fault_plane();
@@ -93,6 +106,7 @@ fn main() {
                     continue;
                 }
                 let mut bed = TestBed::new(config, platform, 43 + i as u64);
+                bed.set_filter_engine(engine);
                 if want_faults {
                     let _plane = bed.attach_fault_plane();
                 }
@@ -115,6 +129,7 @@ fn main() {
                     continue;
                 }
                 let mut bed = TestBed::new(config, platform, 53 + i as u64);
+                bed.set_filter_engine(engine);
                 if want_faults {
                     let _plane = bed.attach_fault_plane();
                 }
@@ -174,6 +189,7 @@ fn main() {
         let configs = table2_for(platform);
         let tput = |c: psd_systems::SystemConfig| {
             let mut bed = TestBed::new(c, platform, 42);
+            bed.set_filter_engine(engine);
             if want_faults {
                 let _plane = bed.attach_fault_plane();
             }

@@ -20,7 +20,7 @@
 //! JSON. Neither flag changes the table output.
 
 use psd_bench::workload::{session_scaling_with, ScaleReport, WorkloadSpec};
-use psd_filter::DemuxStrategy;
+use psd_filter::{DemuxStrategy, FilterEngine};
 use psd_sim::Platform;
 use psd_systems::SystemConfig;
 
@@ -45,6 +45,17 @@ fn main() {
     let want_census = std::env::args().any(|a| a == "--census");
     let trace_out = flag_value("--trace-out");
     let census_json = flag_value("--census-json");
+    // The filter engine never appears in the output: the compiled tier
+    // is observationally identical to the interpreter, and CI diffs a
+    // run under each engine to prove it.
+    let engine = match flag_value("--filter-engine").as_deref() {
+        Some("compiled") => FilterEngine::Compiled,
+        Some("interpret") | None => FilterEngine::Interpret,
+        Some(other) => {
+            eprintln!("table5: unknown --filter-engine '{other}'");
+            std::process::exit(2);
+        }
+    };
     let mut trace_events = String::new();
     let mut census_docs: Vec<String> = Vec::new();
     let mut cell_idx: u64 = 0;
@@ -79,7 +90,7 @@ fn main() {
             );
             let mut rows = Vec::new();
             for &n in scales {
-                let spec = WorkloadSpec::at_scale(n, packets, SEED);
+                let spec = WorkloadSpec::at_scale(n, packets, SEED).with_engine(engine);
                 let tracer = trace_out.is_some().then(psd_sim::Tracer::shared);
                 let r = session_scaling_with(
                     config,

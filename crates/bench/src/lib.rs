@@ -10,6 +10,7 @@
 //! proxy interface — the same socket API every configuration exports —
 //! so a single workload implementation measures all eight systems.
 
+pub mod filterbench;
 pub mod json;
 pub mod selfbench;
 pub mod tables;

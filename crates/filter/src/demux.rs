@@ -16,10 +16,11 @@
 //! Table 4.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use crate::compile::{compile_endpoint, session_prefix, EndpointSpec};
+use crate::compiled::{CompiledFilter, FilterEngine};
 use crate::vm::Program;
 use psd_wire::{EthernetHeader, IpProto, Ipv4Header, ETHER_HDR_LEN};
 
@@ -50,6 +51,12 @@ struct Installed<T> {
     id: FilterId,
     spec: EndpointSpec,
     program: Program,
+    /// The program lowered at install time. Every installed filter
+    /// owns its own artifact — artifacts are keyed by filter id, never
+    /// by program value, so two structurally equal programs installed
+    /// for different sessions compile, live, and tear down
+    /// independently.
+    compiled: CompiledFilter,
     owner: T,
 }
 
@@ -58,15 +65,29 @@ type MpfKey = (u8, Ipv4Addr, u16, Option<(Ipv4Addr, u16)>);
 /// The table of installed per-session filters.
 ///
 /// All maintenance is incremental: install and remove are O(log n),
-/// CSPF evaluation order is kept in a sorted set rather than re-sorting
-/// a vector, and the MPF endpoint index maps each key to the set of
-/// filter ids sharing it (the earliest install wins, exactly as a
-/// specificity-then-install-ordered scan would pick it).
+/// CSPF evaluation order is kept in a sorted map rather than
+/// re-sorting a vector, and the MPF endpoint index maps each key to
+/// the set of filter ids sharing it (the earliest install wins,
+/// exactly as a specificity-then-install-ordered scan would pick it).
+///
+/// Filters live in a slab: the CSPF scan — the hot path that runs
+/// once per installed filter per received packet — resolves each
+/// order entry with a dense vector index instead of a hashed lookup,
+/// so per-filter scan overhead is a pointer chase, not a SipHash.
+/// The id→slot map is consulted only on the control path
+/// (install/remove/spec/owner) and by the O(1) MPF dispatch.
 pub struct DemuxTable<T> {
     strategy: DemuxStrategy,
-    filters: HashMap<u64, Installed<T>>,
-    /// CSPF evaluation order: (specificity descending, id ascending).
-    order: BTreeSet<(Reverse<u8>, u64)>,
+    engine: FilterEngine,
+    /// Slab of installed filters; `None` entries are free slots.
+    slots: Vec<Option<Installed<T>>>,
+    /// Free-list of vacated slot indices, reused LIFO.
+    free: Vec<usize>,
+    /// Control-path index: filter id → slot.
+    by_id: HashMap<u64, usize>,
+    /// CSPF evaluation order: (specificity descending, id ascending)
+    /// → slot.
+    order: BTreeMap<(Reverse<u8>, u64), usize>,
     mpf_index: HashMap<MpfKey, BTreeSet<u64>>,
     prefix_len: usize,
     next_id: u64,
@@ -82,12 +103,22 @@ fn mpf_key(spec: &EndpointSpec) -> MpfKey {
 }
 
 impl<T: Clone> DemuxTable<T> {
-    /// Creates an empty table with the given strategy.
+    /// Creates an empty table with the given strategy and the
+    /// interpreter engine.
     pub fn new(strategy: DemuxStrategy) -> DemuxTable<T> {
+        DemuxTable::with_engine(strategy, FilterEngine::Interpret)
+    }
+
+    /// Creates an empty table with the given strategy and execution
+    /// engine.
+    pub fn with_engine(strategy: DemuxStrategy, engine: FilterEngine) -> DemuxTable<T> {
         DemuxTable {
             strategy,
-            filters: HashMap::new(),
-            order: BTreeSet::new(),
+            engine,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_id: HashMap::new(),
+            order: BTreeMap::new(),
             mpf_index: HashMap::new(),
             prefix_len: session_prefix().len(),
             next_id: 1,
@@ -99,14 +130,45 @@ impl<T: Clone> DemuxTable<T> {
         self.strategy
     }
 
+    /// The configured execution engine.
+    pub fn engine(&self) -> FilterEngine {
+        self.engine
+    }
+
+    /// Switches the execution engine. Compiled artifacts are maintained
+    /// for every installed filter regardless of the active engine, so
+    /// this is valid at any time and never changes classification
+    /// output — the engines are observationally equivalent.
+    pub fn set_engine(&mut self, engine: FilterEngine) {
+        self.engine = engine;
+    }
+
+    /// Number of live compiled artifacts. Always equals
+    /// [`len`](DemuxTable::len): each installed filter owns exactly one
+    /// artifact, created at install and dropped at remove (the
+    /// regression suite pins this across insert/remove churn).
+    pub fn compiled_artifacts(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of installed filters whose artifact took the fast-path
+    /// recognizer lowering (vs. the direct-threaded fallback).
+    pub fn fast_path_artifacts(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|f| f.compiled.is_fast_path())
+            .count()
+    }
+
     /// Number of installed filters.
     pub fn len(&self) -> usize {
-        self.filters.len()
+        self.by_id.len()
     }
 
     /// True if no filters are installed.
     pub fn is_empty(&self) -> bool {
-        self.filters.is_empty()
+        self.by_id.is_empty()
     }
 
     /// Installs a filter for `spec` owned by `owner`. Returns its id.
@@ -114,28 +176,42 @@ impl<T: Clone> DemuxTable<T> {
         let id = FilterId(self.next_id);
         self.next_id += 1;
         let program = compile_endpoint(&spec);
-        self.order.insert((Reverse(spec.specificity()), id.0));
+        // Lowered per install, never shared between ids: program
+        // equality must not be load-bearing for artifact lifetime.
+        let compiled = CompiledFilter::compile(&program);
+        let installed = Installed {
+            id,
+            spec,
+            program,
+            compiled,
+            owner,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(installed);
+                slot
+            }
+            None => {
+                self.slots.push(Some(installed));
+                self.slots.len() - 1
+            }
+        };
+        self.by_id.insert(id.0, slot);
+        self.order.insert((Reverse(spec.specificity()), id.0), slot);
         self.mpf_index
             .entry(mpf_key(&spec))
             .or_default()
             .insert(id.0);
-        self.filters.insert(
-            id.0,
-            Installed {
-                id,
-                spec,
-                program,
-                owner,
-            },
-        );
         id
     }
 
     /// Removes an installed filter. Returns true if it existed.
     pub fn remove(&mut self, id: FilterId) -> bool {
-        let Some(f) = self.filters.remove(&id.0) else {
+        let Some(slot) = self.by_id.remove(&id.0) else {
             return false;
         };
+        let f = self.slots[slot].take().expect("by_id points at live slot");
+        self.free.push(slot);
         self.order.remove(&(Reverse(f.spec.specificity()), id.0));
         let key = mpf_key(&f.spec);
         if let Some(ids) = self.mpf_index.get_mut(&key) {
@@ -147,14 +223,19 @@ impl<T: Clone> DemuxTable<T> {
         true
     }
 
+    fn get(&self, id: u64) -> Option<&Installed<T>> {
+        let slot = *self.by_id.get(&id)?;
+        self.slots[slot].as_ref()
+    }
+
     /// Looks up the spec of an installed filter.
     pub fn spec(&self, id: FilterId) -> Option<EndpointSpec> {
-        self.filters.get(&id.0).map(|f| f.spec)
+        self.get(id.0).map(|f| f.spec)
     }
 
     /// Looks up the owner of an installed filter.
     pub fn owner(&self, id: FilterId) -> Option<&T> {
-        self.filters.get(&id.0).map(|f| &f.owner)
+        self.get(id.0).map(|f| &f.owner)
     }
 
     /// Classifies a received frame.
@@ -167,9 +248,14 @@ impl<T: Clone> DemuxTable<T> {
 
     fn classify_cspf(&self, frame: &[u8]) -> DemuxResult<T> {
         let mut steps = 0;
-        for &(_, id) in &self.order {
-            let f = &self.filters[&id];
-            let out = f.program.run(frame);
+        for &slot in self.order.values() {
+            let f = self.slots[slot]
+                .as_ref()
+                .expect("order points at live slot");
+            let out = match self.engine {
+                FilterEngine::Interpret => f.program.run(frame),
+                FilterEngine::Compiled => f.compiled.run(frame),
+            };
             steps += out.steps;
             if out.accepted {
                 return DemuxResult {
@@ -194,20 +280,40 @@ impl<T: Clone> DemuxTable<T> {
         steps += 1;
         let exact: MpfKey = (proto, dst_ip, dst_port, Some((src_ip, src_port)));
         if let Some(f) = self.mpf_lookup(&exact) {
-            return DemuxResult {
-                owner: Some((f.id, f.owner.clone())),
-                steps,
-            };
+            if self.mpf_confirm(f, frame) {
+                return DemuxResult {
+                    owner: Some((f.id, f.owner.clone())),
+                    steps,
+                };
+            }
         }
         steps += 1;
         let wild: MpfKey = (proto, dst_ip, dst_port, None);
         if let Some(f) = self.mpf_lookup(&wild) {
-            return DemuxResult {
-                owner: Some((f.id, f.owner.clone())),
-                steps,
-            };
+            if self.mpf_confirm(f, frame) {
+                return DemuxResult {
+                    owner: Some((f.id, f.owner.clone())),
+                    steps,
+                };
+            }
         }
         DemuxResult { owner: None, steps }
+    }
+
+    /// Under the compiled engine, the MPF dispatch runs the winning
+    /// filter's compiled program as the final match confirmation — the
+    /// per-session residual of the MPF design, and the sync check that
+    /// keeps the associative index honest against the program table.
+    /// Key extraction is strictly stricter than any session program
+    /// whose key it produced (it additionally validates the IP header
+    /// checksum and total length), so for an in-sync table the confirm
+    /// always accepts and both engines classify identically; the step
+    /// accounting is the MPF cost model's either way.
+    fn mpf_confirm(&self, f: &Installed<T>, frame: &[u8]) -> bool {
+        match self.engine {
+            FilterEngine::Interpret => true,
+            FilterEngine::Compiled => f.compiled.run(frame).accepted,
+        }
     }
 
     /// Resolves an MPF key to its winning filter. Filters sharing a key
@@ -215,8 +321,7 @@ impl<T: Clone> DemuxTable<T> {
     /// id) is the one a specificity-then-install scan would reach first.
     fn mpf_lookup(&self, key: &MpfKey) -> Option<&Installed<T>> {
         let ids = self.mpf_index.get(key)?;
-        let id = ids.first()?;
-        self.filters.get(id)
+        self.get(*ids.first()?)
     }
 }
 
@@ -393,5 +498,109 @@ mod tests {
         let id = t.install(spec, ());
         assert_eq!(t.spec(id), Some(spec));
         assert_eq!(t.spec(FilterId(999)), None);
+    }
+
+    fn all_tables() -> Vec<DemuxTable<&'static str>> {
+        let mut v = Vec::new();
+        for s in [DemuxStrategy::Cspf, DemuxStrategy::Mpf] {
+            for e in [FilterEngine::Interpret, FilterEngine::Compiled] {
+                v.push(DemuxTable::with_engine(s, e));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn engines_agree_on_owner_and_steps() {
+        let frames = [
+            udp_frame((A, 5), (B, 7000)),
+            udp_frame((A, 6), (B, 7000)),
+            udp_frame((A, 5), (B, 7001)),
+            vec![0u8; 10],
+        ];
+        let mut results: Vec<Vec<(Option<&str>, usize)>> = Vec::new();
+        for mut t in [
+            DemuxTable::with_engine(DemuxStrategy::Cspf, FilterEngine::Interpret),
+            DemuxTable::with_engine(DemuxStrategy::Cspf, FilterEngine::Compiled),
+        ] {
+            t.install(EndpointSpec::unconnected(IpProto::Udp, B, 7000), "wild");
+            t.install(EndpointSpec::connected(IpProto::Udp, B, 7000, A, 5), "conn");
+            results.push(
+                frames
+                    .iter()
+                    .map(|f| {
+                        let r = t.classify(f);
+                        (r.owner.map(|o| o.1), r.steps)
+                    })
+                    .collect(),
+            );
+        }
+        assert_eq!(results[0], results[1], "CSPF engines diverge");
+    }
+
+    #[test]
+    fn engine_toggle_mid_life_changes_nothing() {
+        for mut t in all_tables() {
+            t.install(EndpointSpec::unconnected(IpProto::Udp, B, 7000), "app");
+            let frame = udp_frame((A, 5), (B, 7000));
+            let before = t.classify(&frame);
+            t.set_engine(FilterEngine::Compiled);
+            let compiled = t.classify(&frame);
+            t.set_engine(FilterEngine::Interpret);
+            let after = t.classify(&frame);
+            assert_eq!(before.owner.as_ref().map(|o| o.1), Some("app"));
+            assert_eq!(before.steps, compiled.steps);
+            assert_eq!(before.steps, after.steps);
+            assert_eq!(
+                before.owner.map(|o| o.0),
+                compiled.owner.map(|o| o.0),
+                "{:?}",
+                t.strategy()
+            );
+        }
+    }
+
+    #[test]
+    fn session_filter_artifacts_take_the_fast_path() {
+        let mut t: DemuxTable<u32> =
+            DemuxTable::with_engine(DemuxStrategy::Cspf, FilterEngine::Compiled);
+        t.install(EndpointSpec::unconnected(IpProto::Udp, B, 7000), 0);
+        t.install(EndpointSpec::connected(IpProto::Tcp, B, 80, A, 5000), 1);
+        assert_eq!(t.fast_path_artifacts(), 2);
+        assert_eq!(t.compiled_artifacts(), 2);
+    }
+
+    #[test]
+    fn equal_programs_get_independent_compiled_state() {
+        // Two installs of the *same* spec produce structurally equal
+        // programs. Their compiled artifacts must be keyed by filter
+        // id, not program value: removing one session's filter must
+        // not tear down — or leak — the other's artifact, across
+        // repeated remove/re-insert churn.
+        let spec = EndpointSpec::unconnected(IpProto::Udp, B, 7000);
+        let mut t: DemuxTable<&str> =
+            DemuxTable::with_engine(DemuxStrategy::Cspf, FilterEngine::Compiled);
+        let first = t.install(spec, "session-a");
+        let mut second = t.install(spec, "session-b");
+        assert_eq!(t.compiled_artifacts(), 2);
+        let frame = udp_frame((A, 5), (B, 7000));
+        for _ in 0..16 {
+            // Churn the *second* session; the first must keep winning
+            // (earliest install) through every generation.
+            assert!(t.remove(second));
+            assert_eq!(t.compiled_artifacts(), 1, "artifact leaked or lost");
+            let r = t.classify(&frame);
+            assert_eq!(r.owner.as_ref().map(|o| o.1), Some("session-a"));
+            second = t.install(spec, "session-b");
+            assert_eq!(t.compiled_artifacts(), 2);
+        }
+        // Now drop the first: the survivor's artifact must still match.
+        assert!(t.remove(first));
+        assert_eq!(t.compiled_artifacts(), 1);
+        let r = t.classify(&frame);
+        assert_eq!(r.owner.map(|o| o.1), Some("session-b"));
+        assert!(t.remove(second));
+        assert_eq!(t.compiled_artifacts(), 0);
+        assert_eq!(t.fast_path_artifacts(), 0);
     }
 }

@@ -15,6 +15,12 @@
 //! - [`compile`]: builds the per-session programs the operating system
 //!   server installs (protocol / local endpoint / optional remote
 //!   endpoint), plus the server's catch-all.
+//! - [`compiled`]: the compile tier. At insert time every program is
+//!   lowered to a specialized artifact — a fast-path field-compare
+//!   recognizer for the canonical session-filter shape, or a
+//!   direct-threaded fallback for arbitrary programs — that reproduces
+//!   the interpreter's verdict, step count, and error cause exactly.
+//!   `FilterEngine::{Interpret,Compiled}` selects the tier per table.
 //! - [`demux`]: the table of installed filters. Two strategies are
 //!   provided: `Cspf` runs each program in turn (the 1987 design), and
 //!   `Mpf` collapses the shared prefix and dispatches on the endpoint
@@ -24,9 +30,11 @@
 //!   counts, which the ablation benchmark measures.
 
 pub mod compile;
+pub mod compiled;
 pub mod demux;
 pub mod vm;
 
 pub use compile::{catch_all_ip, compile_endpoint, EndpointSpec};
+pub use compiled::{CompiledFilter, FilterEngine};
 pub use demux::{DemuxResult, DemuxStrategy, DemuxTable, FilterId};
 pub use vm::{Binop, FilterOutcome, Insn, Program, VmError, MAX_STEPS};

@@ -38,7 +38,7 @@ pub enum Binop {
 }
 
 impl Binop {
-    fn apply(self, a: u16, b: u16) -> u16 {
+    pub(crate) fn apply(self, a: u16, b: u16) -> u16 {
         match self {
             Binop::Eq => u16::from(a == b),
             Binop::Ne => u16::from(a != b),
@@ -354,5 +354,114 @@ mod tests {
         let out = p.run(&[]);
         assert!(!out.accepted);
         assert_eq!(out.error, Some(VmError::StepBudget));
+    }
+
+    // --- Exact reject semantics at every underflow/overflow/budget
+    // edge. These pin the specification the compiled tier must match
+    // bit for bit (verdict, steps, and error cause). ---
+
+    #[test]
+    fn ret_on_empty_stack_is_a_plain_reject_not_an_underflow() {
+        // `Ret` treats a missing top-of-stack as zero: the program
+        // rejects *normally* (error None), unlike the pop pairs of the
+        // operator instructions.
+        let out = Program::new(vec![Insn::Ret]).run(&[1, 2, 3]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.error, None);
+    }
+
+    #[test]
+    fn combine_or_underflow_rejects_with_exact_step() {
+        // No operands at all.
+        let out = Program::new(vec![Insn::CombineOr(Binop::Eq)]).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.error, Some(VmError::StackUnderflow));
+        // One operand is still an underflow: the pop pair is atomic.
+        let out = Program::new(vec![Insn::PushLit(7), Insn::CombineOr(Binop::Ne)]).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 2);
+        assert_eq!(out.error, Some(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn combine_and_underflow_rejects_with_exact_step() {
+        let out = Program::new(vec![Insn::CombineAnd(Binop::Eq)]).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.error, Some(VmError::StackUnderflow));
+        let out = Program::new(vec![Insn::PushLit(1), Insn::CombineAnd(Binop::Eq)]).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 2);
+        assert_eq!(out.error, Some(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn op_underflow_with_one_operand() {
+        let out = Program::new(vec![Insn::PushLit(5), Insn::Op(Binop::Add)]).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, 2);
+        assert_eq!(out.error, Some(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn budget_edge_exactly_max_steps_completes() {
+        // A program of exactly MAX_STEPS instructions runs to the end
+        // (implicit Ret): the budget rejects the (MAX_STEPS+1)-th
+        // instruction, not the MAX_STEPS-th.
+        let p = Program::new(vec![Insn::PushLit(1); MAX_STEPS]);
+        let out = p.run(&[]);
+        assert!(out.accepted);
+        assert_eq!(out.steps, MAX_STEPS);
+        assert_eq!(out.error, None);
+    }
+
+    #[test]
+    fn budget_edge_one_past_max_steps_rejects() {
+        let p = Program::new(vec![Insn::PushLit(1); MAX_STEPS + 1]);
+        let out = p.run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, MAX_STEPS + 1);
+        assert_eq!(out.error, Some(VmError::StepBudget));
+    }
+
+    #[test]
+    fn budget_edge_ret_as_final_allowed_instruction() {
+        // Ret at position MAX_STEPS executes; one later it cannot.
+        let mut insns = vec![Insn::PushLit(1); MAX_STEPS - 1];
+        insns.push(Insn::Ret);
+        let out = Program::new(insns).run(&[]);
+        assert!(out.accepted);
+        assert_eq!(out.steps, MAX_STEPS);
+        let mut insns = vec![Insn::PushLit(1); MAX_STEPS];
+        insns.push(Insn::Ret);
+        let out = Program::new(insns).run(&[]);
+        assert!(!out.accepted);
+        assert_eq!(out.steps, MAX_STEPS + 1);
+        assert_eq!(out.error, Some(VmError::StepBudget));
+    }
+
+    #[test]
+    fn deepest_possible_stack_never_overflows() {
+        // MAX_STEPS - 1 pushes then Ret: the deepest stack any program
+        // can build within the budget. No overflow error exists; the
+        // compiled tier's fixed array must accommodate exactly this.
+        let mut insns = vec![Insn::PushLit(0xABCD); MAX_STEPS - 1];
+        insns.push(Insn::Ret);
+        let out = Program::new(insns).run(&[]);
+        assert!(out.accepted, "top of a deep stack decides the verdict");
+        assert_eq!(out.steps, MAX_STEPS);
+    }
+
+    #[test]
+    fn budget_trips_before_a_late_out_of_bounds_read() {
+        // The budget check precedes instruction decode: an OOB read at
+        // position MAX_STEPS+1 reports StepBudget, not OutOfBounds.
+        let mut insns = vec![Insn::PushLit(1); MAX_STEPS];
+        insns.push(Insn::PushWord(9999));
+        let out = Program::new(insns).run(&[]);
+        assert_eq!(out.error, Some(VmError::StepBudget));
+        assert_eq!(out.steps, MAX_STEPS + 1);
     }
 }

@@ -31,7 +31,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
+use psd_filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterEngine, FilterId};
 use psd_netdev::{Ethernet, EthernetHandle, Station};
 use psd_sim::{
     Charge, CostModel, Cpu, Domain, DropCounters, DropReason, FaultSite, Layer, OpKind, Sim,
@@ -224,7 +224,20 @@ impl Kernel {
             self.demux.is_empty(),
             "cannot change strategy with installed filters"
         );
-        self.demux = DemuxTable::new(strategy);
+        self.demux = DemuxTable::with_engine(strategy, self.demux.engine());
+    }
+
+    /// Selects the filter execution engine (default: interpreter). The
+    /// engines are observationally equivalent — same verdicts, same
+    /// charged step counts — so this may be called at any time; the
+    /// demux table keeps compiled artifacts in sync either way.
+    pub fn set_filter_engine(&mut self, engine: FilterEngine) {
+        self.demux.set_engine(engine);
+    }
+
+    /// The active filter execution engine.
+    pub fn filter_engine(&self) -> FilterEngine {
+        self.demux.engine()
     }
 
     /// Attaches the kernel to an Ethernet segment. The caller must also

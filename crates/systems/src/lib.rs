@@ -253,6 +253,16 @@ impl TestBed {
         }
     }
 
+    /// Selects the packet-filter execution engine on every host kernel.
+    /// The engines are observationally equivalent (same verdicts, same
+    /// charged steps), so any table produced under `Compiled` is
+    /// byte-identical to the `Interpret` run — CI diffs them.
+    pub fn set_filter_engine(&self, engine: psd_filter::FilterEngine) {
+        for h in &self.hosts {
+            h.kernel.borrow_mut().set_filter_engine(engine);
+        }
+    }
+
     /// Attaches a wire-only fault plane and arms the independent frame
     /// sites (probabilities of 0 leave a site disarmed). This is the
     /// deterministic replacement for the retired ad-hoc `FaultModel`:

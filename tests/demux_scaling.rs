@@ -8,7 +8,7 @@
 //! table grown and shrunk incrementally classifies exactly like a
 //! table built from scratch with the surviving filters.
 
-use psd::filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterId};
+use psd::filter::{DemuxStrategy, DemuxTable, EndpointSpec, FilterEngine, FilterId};
 use psd::sim::Rng;
 use psd::wire::{
     EtherAddr, EtherType, EthernetHeader, IpProto, Ipv4Header, TcpFlags, TcpHeader, UdpHeader,
@@ -226,6 +226,81 @@ fn mpf_steps_flat_cspf_steps_linear_at_4096() {
         c4096 >= c16 * 64,
         "CSPF cost must scale with the table ({c16} -> {c4096})"
     );
+}
+
+/// Connected-beats-wildcard precedence survives the compile tier at
+/// the top Table 5 scale: with 4096 filters installed under the
+/// `Compiled` engine, a local port claimed by both a wildcard and a
+/// connected filter resolves to the connected one for the connected
+/// remote and to the wildcard for everyone else — and the owner and
+/// charged steps match the interpreting engine exactly, under both
+/// strategies.
+#[test]
+fn connected_beats_wildcard_at_4096_filters_under_compiled_engine() {
+    let ports = 4800u64;
+    cases(0x5ca1_e333, 2, |rng| {
+        for strategy in [DemuxStrategy::Cspf, DemuxStrategy::Mpf] {
+            let mut interp: DemuxTable<usize> =
+                DemuxTable::with_engine(strategy, FilterEngine::Interpret);
+            let mut comp: DemuxTable<usize> =
+                DemuxTable::with_engine(strategy, FilterEngine::Compiled);
+            let mut seen = std::collections::HashSet::new();
+            let mut owner = 0usize;
+            while owner < 4094 {
+                let spec = rand_spec(rng, ports);
+                if !seen.insert((
+                    spec.proto.to_u8(),
+                    spec.local_ip,
+                    spec.local_port,
+                    spec.remote,
+                )) {
+                    continue;
+                }
+                interp.install(spec, owner);
+                comp.install(spec, owner);
+                owner += 1;
+            }
+            // The contested port: a wildcard and a (more specific)
+            // connected filter, wildcard installed first so precedence
+            // cannot be an accident of install order.
+            let peer = (Ipv4Addr::new(10, 0, 0, 1), 2003u16);
+            let port = 999u16; // outside the random port space
+            let wild = EndpointSpec::unconnected(psd::wire::IpProto::Udp, HOST_IP, port);
+            let conn =
+                EndpointSpec::connected(psd::wire::IpProto::Udp, HOST_IP, port, peer.0, peer.1);
+            let wild_owner = 100_000usize;
+            let conn_owner = 100_001usize;
+            for t in [&mut interp, &mut comp] {
+                t.install(wild, wild_owner);
+                t.install(conn, conn_owner);
+            }
+            assert_eq!(comp.compiled_artifacts(), comp.len());
+
+            let from_peer = build_frame(&FrameSpec {
+                tcp: false,
+                src: peer,
+                dst: (HOST_IP, port),
+                frag_offset: 0,
+                more_fragments: false,
+                truncate: None,
+            });
+            let from_other = build_frame(&FrameSpec {
+                tcp: false,
+                src: (Ipv4Addr::new(10, 0, 0, 4), 2008),
+                dst: (HOST_IP, port),
+                frag_offset: 0,
+                more_fragments: false,
+                truncate: None,
+            });
+            for (frame, want) in [(&from_peer, conn_owner), (&from_other, wild_owner)] {
+                let a = interp.classify(frame);
+                let b = comp.classify(frame);
+                assert_eq!(b.owner.map(|o| o.1), Some(want), "{strategy:?}: precedence");
+                assert_eq!(a.owner, b.owner, "{strategy:?}: engines disagree on owner");
+                assert_eq!(a.steps, b.steps, "{strategy:?}: engines disagree on steps");
+            }
+        }
+    });
 }
 
 /// A table grown and shrunk incrementally is indistinguishable from a
