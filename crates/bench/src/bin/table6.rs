@@ -1,0 +1,113 @@
+//! Table 6 CLI: the batched-NEWAPI sweep.
+//!
+//! ```text
+//! table6 [--quick] [--json PATH] [--check-baseline PATH] [--schema PATH]
+//! ```
+//!
+//! Prints the human table to stdout. `--json` writes the machine
+//! artifact (the committed `BENCH_9.json` is a full run's output).
+//! Every field in the artifact is virtual-time or a deterministic
+//! counter, so two same-seed runs are byte-identical with no
+//! normalization — CI runs twice and diffs the files directly.
+//! `--check-baseline` compares this run's ns/pkt in every
+//! (config, eager, B=64) cell against a committed artifact and exits
+//! nonzero on a >20% regression. `--schema` validates the artifact
+//! against a schema file before writing it. The run itself asserts the
+//! hard invariants (lossless burst, crossings exactly packets/B) and
+//! the monotone-decrease acceptance trend.
+
+use std::process::ExitCode;
+
+use psd_bench::json::Json;
+use psd_bench::table6;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut schema_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = args.next(),
+            "--check-baseline" => baseline_path = args.next(),
+            "--schema" => schema_path = args.next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: table6 [--quick] [--json PATH] \
+                     [--check-baseline PATH] [--schema PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("table6: unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let bench = table6::run(quick);
+    print!("{}", bench.table());
+    if let Err(e) = bench.check_monotone() {
+        eprintln!("table6: MONOTONICITY FAILED — {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("table6: crossings/pkt and ns/pkt decrease monotonically in B");
+    let artifact = bench.to_json();
+
+    if let Some(path) = &schema_path {
+        let schema_text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("table6: cannot read schema {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = table6::validate_artifact(&artifact, &schema_text) {
+            eprintln!("table6: artifact violates schema: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("table6: artifact validates against {path}");
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, artifact.write()) {
+            eprintln!("table6: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("table6: wrote {path}");
+    }
+
+    if let Some(path) = &baseline_path {
+        let committed = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("table6: cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("table6: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match table6::check_against_baseline(&bench, &committed, 0.2) {
+            Ok(cells) => {
+                for (key, ns, committed_ns) in cells {
+                    eprintln!(
+                        "table6: gate ok — {key} {ns:.0} ns/pkt vs committed {committed_ns:.0}"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("table6: GATE FAILED — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,7 @@
 pub mod filterbench;
 pub mod json;
 pub mod selfbench;
+pub mod table6;
 pub mod tables;
 pub mod workload;
 pub mod workloads;

@@ -42,7 +42,7 @@ const TCP_PORT: u16 = 20_000;
 const PROBE_PORT: u16 = 29_999;
 
 /// Parameters of one scaling run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// Concurrent UDP sessions on the receiving host. Every fourth one
     /// is connected (fully-specified filter); the rest are wildcard.
@@ -69,6 +69,14 @@ pub struct WorkloadSpec {
     /// engines are observationally equivalent, so this never changes a
     /// reported (virtual-time) number — only host wall-clock speed.
     pub engine: FilterEngine,
+    /// NEWAPI batching configuration applied to every host kernel. The
+    /// default is inert (batch window 1, GRO/GSO off) and takes exactly
+    /// the unbatched code paths, so archived tables never move.
+    pub batch: psd_kernel::BatchConfig,
+    /// Selective-copy placement policy installed on every host kernel
+    /// before any session filter exists. `None` (the default) leaves
+    /// every flow eagerly copied into the ring, as before.
+    pub placement: Option<psd_filter::PlacementPolicy>,
 }
 
 impl WorkloadSpec {
@@ -83,6 +91,8 @@ impl WorkloadSpec {
             seed,
             ballast_timers: 0,
             engine: FilterEngine::Interpret,
+            batch: psd_kernel::BatchConfig::default(),
+            placement: None,
         }
     }
 
@@ -96,6 +106,18 @@ impl WorkloadSpec {
     /// Selects the packet-filter execution engine.
     pub fn with_engine(mut self, engine: FilterEngine) -> WorkloadSpec {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the NEWAPI batching configuration.
+    pub fn with_batch(mut self, batch: psd_kernel::BatchConfig) -> WorkloadSpec {
+        self.batch = batch;
+        self
+    }
+
+    /// Installs a selective-copy placement policy on every host.
+    pub fn with_placement(mut self, policy: psd_filter::PlacementPolicy) -> WorkloadSpec {
+        self.placement = Some(policy);
         self
     }
 }
@@ -186,6 +208,10 @@ pub fn session_scaling_with(
         h.kernel.borrow_mut().set_demux_strategy(strategy);
     }
     bed.set_filter_engine(spec.engine);
+    bed.set_batch_config(spec.batch);
+    // The placement policy must exist before any session filter is
+    // installed — flows are classified at install time.
+    bed.set_placement_policy(spec.placement.clone());
     let censuses = want_census.then(|| bed.attach_census());
     if let Some(t) = tracer {
         bed.attach_tracer_handle(t);
@@ -459,6 +485,70 @@ mod tests {
             assert_eq!(ca.crossings, cb.crossings);
             assert_eq!(ca.wakeups, cb.wakeups);
         }
+    }
+
+    #[test]
+    fn default_batch_config_is_inert() {
+        // An explicit `unbatched()` config must be indistinguishable
+        // from never touching the batching API at all — this is the
+        // property that keeps archived tables 2–5 byte-identical.
+        let spec = WorkloadSpec::at_scale(24, 64, 42);
+        let a = session_scaling(
+            SystemConfig::LibraryIpc,
+            Platform::DecStation5000_200,
+            DemuxStrategy::Mpf,
+            &spec.clone(),
+            true,
+        );
+        let b = session_scaling(
+            SystemConfig::LibraryIpc,
+            Platform::DecStation5000_200,
+            DemuxStrategy::Mpf,
+            &spec.with_batch(psd_kernel::BatchConfig::unbatched()),
+            true,
+        );
+        assert_eq!(a.packets_rx, b.packets_rx);
+        assert_eq!(a.steps_per_packet, b.steps_per_packet);
+        assert_eq!(a.ns_per_packet, b.ns_per_packet);
+        assert_eq!(a.setup, b.setup);
+        let (ca, cb) = (a.census.unwrap(), b.census.unwrap());
+        assert_eq!(ca.crossings, cb.crossings);
+        assert_eq!(ca.body_copies, cb.body_copies);
+        assert_eq!(ca.wakeups, cb.wakeups);
+    }
+
+    #[test]
+    fn batching_reduces_crossings_without_changing_delivery() {
+        let spec = WorkloadSpec::at_scale(16, 96, 42);
+        let base = session_scaling(
+            SystemConfig::LibraryShm,
+            Platform::DecStation5000_200,
+            DemuxStrategy::Mpf,
+            &spec.clone(),
+            true,
+        );
+        let batched = session_scaling(
+            SystemConfig::LibraryShm,
+            Platform::DecStation5000_200,
+            DemuxStrategy::Mpf,
+            &spec.with_batch(psd_kernel::BatchConfig {
+                batch: 16,
+                gro: false,
+                gso: false,
+            }),
+            true,
+        );
+        // Same frames delivered, same filter work — only the crossing
+        // count shrinks.
+        assert_eq!(batched.packets_rx, base.packets_rx);
+        assert_eq!(batched.steps_per_packet, base.steps_per_packet);
+        let (cb, ca) = (batched.census.unwrap(), base.census.unwrap());
+        assert!(
+            cb.crossings < ca.crossings,
+            "batched crossings {} must undercut unbatched {}",
+            cb.crossings,
+            ca.crossings
+        );
     }
 
     #[test]

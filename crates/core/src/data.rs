@@ -355,6 +355,228 @@ impl AppLib {
         this.borrow().finish(charge);
         res
     }
+
+    // ----- Batched NEWAPI (ISSUE 9): amortized crossings -----
+
+    /// Batched NEWAPI send: queues up to `bufs.len()` shared descriptors
+    /// under one socket-layer entry, announcing the batch window to the
+    /// interface so one trap (doorbell) covers each window of K frames.
+    /// Returns the number of descriptors accepted; stops early — without
+    /// error — once the send buffer would block, and surfaces the error
+    /// only if the *first* descriptor fails. Library mode only, like
+    /// [`send_shared`](AppLib::send_shared).
+    pub fn send_batch(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        bufs: &[Rc<Vec<u8>>],
+    ) -> Result<usize, SocketError> {
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        let Brief::Local(sock) = state else {
+            return Err(SocketError::OpNotSupp);
+        };
+        let proto = this.borrow().fds.get(&fd).expect("exists").proto;
+        let stack = this.borrow().stack.clone().expect("local fd");
+        let batch = this.borrow().kernel.borrow().batch_config();
+        if batch.batch > 1 {
+            stack.borrow().tx_batch_hint(batch.batch);
+        }
+        let mut charge = this.borrow().begin(sim);
+        let mut sent = 0usize;
+        let mut first_err = None;
+        for data in bufs {
+            let res = match proto {
+                Proto::Tcp => {
+                    stack
+                        .borrow_mut()
+                        .tcp_send_shared(sim, &mut charge, sock, data.clone())
+                }
+                Proto::Udp => stack
+                    .borrow_mut()
+                    .udp_send(sim, &mut charge, sock, data, None),
+            };
+            match res {
+                Ok(_) => sent += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        this.borrow().finish(charge);
+        if batch.batch > 1 {
+            stack.borrow().tx_batch_end();
+        }
+        match (sent, first_err) {
+            (0, Some(e)) => Err(e),
+            _ => Ok(sent),
+        }
+    }
+
+    /// GSO-style NEWAPI send: one super-descriptor the stack segments
+    /// into `seg`-byte wire datagrams at transmit. The emitted frames
+    /// are byte-for-byte identical to the per-datagram sends; with GSO
+    /// disabled in the kernel's [`psd_kernel::BatchConfig`] the library
+    /// falls back to exactly those per-datagram sends. TCP sockets
+    /// queue the buffer whole — the stream protocol already segments.
+    pub fn send_gso(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        data: Rc<Vec<u8>>,
+        seg: usize,
+    ) -> Result<usize, SocketError> {
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        let Brief::Local(sock) = state else {
+            return Err(SocketError::OpNotSupp);
+        };
+        let seg = seg.max(1);
+        let proto = this.borrow().fds.get(&fd).expect("exists").proto;
+        let stack = this.borrow().stack.clone().expect("local fd");
+        let gso = this.borrow().kernel.borrow().batch_config().gso;
+        let mut charge = this.borrow().begin(sim);
+        let res = match proto {
+            Proto::Tcp => stack
+                .borrow_mut()
+                .tcp_send_shared(sim, &mut charge, sock, data.clone()),
+            Proto::Udp if gso => {
+                stack
+                    .borrow_mut()
+                    .udp_send_gso(sim, &mut charge, sock, &data, seg, None)
+            }
+            Proto::Udp => {
+                // Fallback: the same wire datagrams, sent one at a time
+                // at full per-datagram cost.
+                let mut off = 0;
+                loop {
+                    let len = seg.min(data.len() - off);
+                    let r = stack.borrow_mut().udp_send(
+                        sim,
+                        &mut charge,
+                        sock,
+                        &data[off..off + len],
+                        None,
+                    );
+                    if let Err(e) = r {
+                        break Err(e);
+                    }
+                    off += len;
+                    if off >= data.len() {
+                        break Ok(data.len());
+                    }
+                }
+            }
+        };
+        this.borrow().finish(charge);
+        res
+    }
+
+    /// Batched NEWAPI receive: drains up to `max_descs` descriptors
+    /// (each at most `max_bytes` of stream data for TCP; one datagram
+    /// for UDP) in one call. For selective-copy kernel-resident flows
+    /// the ring carried headers only; passing `pull == true` pays the
+    /// deferred body copy here, `pull == false` consumes header-only
+    /// (the monitor/proxy pattern — copies/pkt drops to zero). Returns
+    /// an empty vector when no data is buffered.
+    pub fn recv_batch(
+        this: &AppHandle,
+        sim: &mut Sim,
+        fd: Fd,
+        max_descs: usize,
+        max_bytes: usize,
+        pull: bool,
+    ) -> Result<Vec<psd_mbuf::RecvDesc>, SocketError> {
+        use psd_filter::CopyPlacement;
+        let state = {
+            let app = this.borrow();
+            app.fds
+                .get(&fd)
+                .ok_or(SocketError::BadSocket)?
+                .state
+                .brief()
+        };
+        let Brief::Local(sock) = state else {
+            return Err(SocketError::OpNotSupp);
+        };
+        let proto = this.borrow().fds.get(&fd).expect("exists").proto;
+        let stack = this.borrow().stack.clone().expect("local fd");
+        // The library agrees with the kernel about this flow's placement
+        // by evaluating the same install-time policy on its own socket.
+        let resident = {
+            let policy = this.borrow().kernel.borrow().placement_policy();
+            policy.is_some_and(|p| {
+                let ip_proto = match proto {
+                    Proto::Tcp => psd_wire::IpProto::Tcp,
+                    Proto::Udp => psd_wire::IpProto::Udp,
+                };
+                stack.borrow().local_addr(sock).is_some_and(|a| {
+                    p.placement_for(ip_proto, a.port) == CopyPlacement::KernelResident
+                })
+            })
+        };
+        let kcopy_cached = this.borrow().costs.kcopy_cached_byte;
+        let mut charge = this.borrow().begin(sim);
+        let mut descs = Vec::new();
+        let mut err = None;
+        while descs.len() < max_descs {
+            let res = match proto {
+                Proto::Tcp => stack
+                    .borrow_mut()
+                    .tcp_recv_chain(sim, &mut charge, sock, max_bytes),
+                Proto::Udp => stack
+                    .borrow_mut()
+                    .udp_recv_chain(sim, &mut charge, sock)
+                    .map(|(chain, _)| chain),
+            };
+            match res {
+                Ok(chain) => {
+                    if chain.is_empty() {
+                        // TCP end of file (UDP never returns an empty
+                        // chain): stop; an empty result vector is EOF.
+                        break;
+                    }
+                    if resident && pull {
+                        // The deferred body copy: kernel memory → the
+                        // application's buffer, paid only on demand.
+                        charge.add_per_byte(Layer::CopyoutExit, kcopy_cached, chain.len());
+                        charge.note(
+                            psd_sim::OpKind::PacketBodyCopy,
+                            Domain::Library,
+                            Layer::CopyoutExit,
+                        );
+                    }
+                    descs.push(psd_mbuf::RecvDesc {
+                        chain,
+                        kernel_resident: resident,
+                    });
+                }
+                Err(SocketError::WouldBlock) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        this.borrow().finish(charge);
+        match (descs.is_empty(), err) {
+            (true, Some(e)) => Err(e),
+            _ => Ok(descs),
+        }
+    }
 }
 
 /// Collapsed descriptor state for dispatching data operations.

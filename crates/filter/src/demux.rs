@@ -21,6 +21,7 @@ use std::net::Ipv4Addr;
 
 use crate::compile::{compile_endpoint, session_prefix, EndpointSpec};
 use crate::compiled::{CompiledFilter, FilterEngine};
+use crate::placement::CopyPlacement;
 use crate::vm::Program;
 use psd_wire::{EthernetHeader, IpProto, Ipv4Header, ETHER_HDR_LEN};
 
@@ -50,6 +51,10 @@ pub struct DemuxResult<T> {
 struct Installed<T> {
     id: FilterId,
     spec: EndpointSpec,
+    /// Selective-copy verdict for this flow (ISSUE 9): where received
+    /// bodies land. Defaults to eager; set at install time by whatever
+    /// placement policy the kernel has in force.
+    placement: CopyPlacement,
     program: Program,
     /// The program lowered at install time. Every installed filter
     /// owns its own artifact — artifacts are keyed by filter id, never
@@ -182,6 +187,7 @@ impl<T: Clone> DemuxTable<T> {
         let installed = Installed {
             id,
             spec,
+            placement: CopyPlacement::Eager,
             program,
             compiled,
             owner,
@@ -236,6 +242,28 @@ impl<T: Clone> DemuxTable<T> {
     /// Looks up the owner of an installed filter.
     pub fn owner(&self, id: FilterId) -> Option<&T> {
         self.get(id.0).map(|f| &f.owner)
+    }
+
+    /// Sets the selective-copy placement for an installed filter.
+    /// Returns false if the filter does not exist.
+    pub fn set_placement(&mut self, id: FilterId, placement: CopyPlacement) -> bool {
+        let Some(&slot) = self.by_id.get(&id.0) else {
+            return false;
+        };
+        match self.slots[slot].as_mut() {
+            Some(f) => {
+                f.placement = placement;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The selective-copy placement of an installed filter (eager for
+    /// unknown ids, so callers on the unclaimed path need no special
+    /// case).
+    pub fn placement(&self, id: FilterId) -> CopyPlacement {
+        self.get(id.0).map_or(CopyPlacement::Eager, |f| f.placement)
     }
 
     /// Classifies a received frame.

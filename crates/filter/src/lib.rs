@@ -32,9 +32,11 @@
 pub mod compile;
 pub mod compiled;
 pub mod demux;
+pub mod placement;
 pub mod vm;
 
 pub use compile::{catch_all_ip, compile_endpoint, EndpointSpec};
 pub use compiled::{CompiledFilter, FilterEngine};
 pub use demux::{DemuxResult, DemuxStrategy, DemuxTable, FilterId};
+pub use placement::{CopyPlacement, PlacementPolicy};
 pub use vm::{Binop, FilterOutcome, Insn, Program, VmError, MAX_STEPS};

@@ -562,6 +562,21 @@ impl Clone for MbufChain {
     }
 }
 
+/// One descriptor of a batched NEWAPI receive (`recv_batch`): the
+/// delivered chain plus where its body bytes live. For eager flows the
+/// chain is the whole datagram and `kernel_resident` is false. For
+/// selective-copy (kernel-resident) flows the ring carried only the
+/// headers; the chain still exposes the full payload through the pull
+/// handle, but the body copy is charged only when the application
+/// actually pulls it.
+pub struct RecvDesc {
+    /// The received data.
+    pub chain: MbufChain,
+    /// True when the body stayed in kernel memory (header-only
+    /// delivery); pulling the bytes pays the deferred copy.
+    pub kernel_resident: bool,
+}
+
 /// Iterator over a chain's contiguous segments.
 pub struct SegmentIter<'a> {
     node: Option<&'a Mbuf>,

@@ -44,6 +44,17 @@ pub trait NetIf {
 
     /// Transmits a complete Ethernet frame.
     fn transmit(&self, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>);
+
+    /// Hints that up to `n` frames are about to be transmitted
+    /// back-to-back as one batch window, letting the interface amortize
+    /// its per-crossing entry cost over the window. Interfaces that
+    /// cannot batch ignore it (the default).
+    fn tx_batch_hint(&self, _n: usize) {}
+
+    /// Closes the batch window opened by
+    /// [`tx_batch_hint`](NetIf::tx_batch_hint); subsequent transmits pay
+    /// full price again.
+    fn tx_batch_end(&self) {}
 }
 
 /// Per-socket event callback. Invoked via scheduled events, never while
@@ -124,6 +135,10 @@ pub struct StackStats {
     pub icmp_time_exceeded: u64,
     /// Datagrams reassembled from fragments.
     pub reassembled: u64,
+    /// GSO super-descriptors accepted by `udp_send_gso`.
+    pub gso_supers: u64,
+    /// Wire datagrams produced by segmenting GSO super-descriptors.
+    pub gso_segments: u64,
     /// Per-reason drop counters. Always maintained, tracing or not.
     pub drops: DropCounters,
 }
@@ -662,29 +677,7 @@ impl NetStack {
         if data.len() > UDP_MAXDGRAM {
             return Err(SocketError::MsgSize);
         }
-        let my_ip = self.ip_addr;
-        let (local, remote) = {
-            let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
-            let SockState::Udp(pcb) = &mut e.state else {
-                return Err(SocketError::Invalid);
-            };
-            if let Some(err) = pcb.error.take() {
-                return Err(err);
-            }
-            let remote = match (dst, pcb.remote) {
-                (Some(d), _) => d,
-                (None, Some(r)) => r,
-                (None, None) => return Err(SocketError::NotConnected),
-            };
-            let mut local = pcb.local;
-            if local.ip == Ipv4Addr::UNSPECIFIED {
-                local.ip = my_ip;
-            }
-            if local.port == 0 {
-                return Err(SocketError::Invalid);
-            }
-            (local, remote)
-        };
+        let (local, remote) = self.udp_resolve(sock, dst)?;
 
         // Socket entry. The library runs the specialized datagram fast
         // path (§4.3: "the user data can be referenced instead of
@@ -710,7 +703,109 @@ impl NetStack {
                 MbufChain::from_slice(data)
             }
         };
+        self.udp_emit(sim, charge, local, remote, chain, data.len())?;
+        Ok(data.len())
+    }
 
+    /// GSO super-descriptor send (the batched NEWAPI): one socket-layer
+    /// entry covers the whole buffer, and the stack segments it into
+    /// `seg`-byte datagrams at transmit. The wire frames are
+    /// byte-for-byte what the same number of per-datagram
+    /// [`udp_send`](Self::udp_send) calls would emit (same headers,
+    /// same checksums, same IP ident sequence) — only the amortized
+    /// entry charge differs.
+    pub fn udp_send_gso(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        sock: SockId,
+        data: &Rc<Vec<u8>>,
+        seg: usize,
+        dst: Option<InetAddr>,
+    ) -> Result<usize, SocketError> {
+        let seg = seg.clamp(1, UDP_MAXDGRAM);
+        let (local, remote) = self.udp_resolve(sock, dst)?;
+        // One amortized socket entry for the super-descriptor; the
+        // kernel/server placements still physically copy every byte in.
+        match self.placement {
+            Placement::Library => {
+                charge.add_ns(Layer::EntryCopyin, self.costs.sosend_dgram_base);
+            }
+            _ => {
+                charge.add_ns(
+                    Layer::EntryCopyin,
+                    self.costs.sosend_base + self.costs.sosend_dgram_base,
+                );
+                charge.add_per_byte(Layer::EntryCopyin, self.costs.kcopy_byte, data.len());
+                charge.note(
+                    OpKind::PacketBodyCopy,
+                    self.placement.domain(),
+                    Layer::EntryCopyin,
+                );
+            }
+        }
+        let mut off = 0;
+        let mut segments = 0u64;
+        while off < data.len() || (data.is_empty() && segments == 0) {
+            let len = seg.min(data.len() - off);
+            let chain = match self.placement {
+                Placement::Library => MbufChain::from_shared_range(data.clone(), off, len),
+                _ => {
+                    charge.add_ns(Layer::EntryCopyin, self.costs.mbuf_alloc);
+                    MbufChain::from_slice(&data[off..off + len])
+                }
+            };
+            self.udp_emit(sim, charge, local, remote, chain, len)?;
+            off += len;
+            segments += 1;
+        }
+        self.stats.gso_supers += 1;
+        self.stats.gso_segments += segments;
+        Ok(data.len())
+    }
+
+    /// Resolves the (local, remote) endpoints of a UDP send, applying
+    /// the wildcard-IP and connected-socket rules.
+    fn udp_resolve(
+        &mut self,
+        sock: SockId,
+        dst: Option<InetAddr>,
+    ) -> Result<(InetAddr, InetAddr), SocketError> {
+        let my_ip = self.ip_addr;
+        let e = self.socks.get_mut(&sock).ok_or(SocketError::BadSocket)?;
+        let SockState::Udp(pcb) = &mut e.state else {
+            return Err(SocketError::Invalid);
+        };
+        if let Some(err) = pcb.error.take() {
+            return Err(err);
+        }
+        let remote = match (dst, pcb.remote) {
+            (Some(d), _) => d,
+            (None, Some(r)) => r,
+            (None, None) => return Err(SocketError::NotConnected),
+        };
+        let mut local = pcb.local;
+        if local.ip == Ipv4Addr::UNSPECIFIED {
+            local.ip = my_ip;
+        }
+        if local.port == 0 {
+            return Err(SocketError::Invalid);
+        }
+        Ok((local, remote))
+    }
+
+    /// The shared tail of [`udp_send`](Self::udp_send) and
+    /// [`udp_send_gso`](Self::udp_send_gso): udp_output for one datagram
+    /// whose socket-layer entry has already been charged.
+    fn udp_emit(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        local: InetAddr,
+        remote: InetAddr,
+        chain: MbufChain,
+        len: usize,
+    ) -> Result<(), SocketError> {
         // udp_output: header + checksum over the data. The stock BSD
         // path re-validates the pcb route on every datagram and takes
         // the full spl dance; the library caches the session route in
@@ -726,12 +821,12 @@ impl NetStack {
                 );
             }
         }
-        let mut udp = UdpHeader::new(local.port, remote.port, data.len());
+        let mut udp = UdpHeader::new(local.port, remote.port, len);
         let ip = Ipv4Header::new(local.ip, remote.ip, IpProto::Udp, udp.len as usize);
         charge.add_per_byte(
             Layer::TcpUdpOutput,
             self.costs.checksum_byte,
-            psd_wire::UDP_HDR_LEN + data.len(),
+            psd_wire::UDP_HDR_LEN + len,
         );
         charge.note(
             OpKind::Checksum,
@@ -747,8 +842,22 @@ impl NetStack {
         let mut payload = udp.encode().to_vec();
         payload.extend_from_slice(&chain.to_vec());
         self.stats.udp_out += 1;
-        self.ip_output(sim, charge, remote.ip, IpProto::Udp, payload)?;
-        Ok(data.len())
+        self.ip_output(sim, charge, remote.ip, IpProto::Udp, payload)
+    }
+
+    /// Opens a transmit batch window on the interface (a batched
+    /// doorbell hint); no-op when the interface does not batch.
+    pub fn tx_batch_hint(&self, n: usize) {
+        if let Some(ifnet) = &self.ifnet {
+            ifnet.tx_batch_hint(n);
+        }
+    }
+
+    /// Closes the transmit batch window.
+    pub fn tx_batch_end(&self) {
+        if let Some(ifnet) = &self.ifnet {
+            ifnet.tx_batch_end();
+        }
     }
 
     /// NEWAPI send (§4.2): the application and the protocol share the

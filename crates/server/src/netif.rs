@@ -27,6 +27,12 @@ pub struct UserNetIf {
     trap: u64,
     kcopy_byte: u64,
     dev_write_byte: u64,
+    /// Announced size of the open transmit batch window (0 = no window):
+    /// one trap covers up to this many back-to-back frames.
+    batch_hint: std::cell::Cell<usize>,
+    /// Frames remaining in the window that ride the trap the window's
+    /// first frame paid.
+    batch_free: std::cell::Cell<usize>,
 }
 
 impl UserNetIf {
@@ -43,6 +49,8 @@ impl UserNetIf {
             trap,
             kcopy_byte,
             dev_write_byte,
+            batch_hint: std::cell::Cell::new(0),
+            batch_free: std::cell::Cell::new(0),
         })
     }
 }
@@ -54,16 +62,39 @@ impl NetIf for UserNetIf {
 
     fn transmit(&self, sim: &mut Sim, charge: &mut Charge, frame: Vec<u8>) {
         use psd_sim::{Domain, Layer, OpKind, SimTime};
-        charge.crossing_in(
-            Domain::Kernel,
-            Layer::EtherOutput,
-            SimTime::from_nanos(self.trap),
-        );
+        // Batched doorbell: within an announced window only the first
+        // frame traps; the rest are appended to the already-mapped
+        // transmit ring. Both copies (user → wired buffer → device) are
+        // physical and always paid.
+        let free = self.batch_free.get();
+        if free > 0 {
+            self.batch_free.set(free - 1);
+        } else {
+            charge.crossing_in(
+                Domain::Kernel,
+                Layer::EtherOutput,
+                SimTime::from_nanos(self.trap),
+            );
+            let hint = self.batch_hint.get();
+            if hint > 1 {
+                self.batch_free.set(hint - 1);
+            }
+        }
         charge.add_per_byte(Layer::EtherOutput, self.kcopy_byte, frame.len());
         charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         charge.add_per_byte(Layer::EtherOutput, self.dev_write_byte, frame.len());
         charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(&self.kernel, sim, charge.at(), frame, true);
+    }
+
+    fn tx_batch_hint(&self, n: usize) {
+        self.batch_hint.set(n);
+        self.batch_free.set(0);
+    }
+
+    fn tx_batch_end(&self) {
+        self.batch_hint.set(0);
+        self.batch_free.set(0);
     }
 }
 

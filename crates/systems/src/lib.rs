@@ -263,6 +263,27 @@ impl TestBed {
         }
     }
 
+    /// Sets the NEWAPI batching configuration (batch window size, GRO,
+    /// GSO) on every host kernel. The default [`psd_kernel::BatchConfig`]
+    /// is inert: batch size 1 takes exactly the unbatched code paths, so
+    /// archived tables are unaffected unless a bed opts in.
+    pub fn set_batch_config(&self, batch: psd_kernel::BatchConfig) {
+        for h in &self.hosts {
+            h.kernel.borrow_mut().set_batch_config(batch);
+        }
+    }
+
+    /// Installs a selective-copy placement policy on every host kernel.
+    /// Endpoint filters installed *after* this call are classified at
+    /// install time; flows the policy marks kernel-resident get
+    /// header-only ring delivery with the body copy deferred to an
+    /// explicit pull.
+    pub fn set_placement_policy(&self, policy: Option<psd_filter::PlacementPolicy>) {
+        for h in &self.hosts {
+            h.kernel.borrow_mut().set_placement_policy(policy.clone());
+        }
+    }
+
     /// Attaches a wire-only fault plane and arms the independent frame
     /// sites (probabilities of 0 leave a site disarmed). This is the
     /// deterministic replacement for the retired ad-hoc `FaultModel`:

@@ -372,3 +372,263 @@ fn rpc_deadline_expires_after_bounded_retries() {
     assert_eq!(client_app.borrow().stats.rpc_timeouts, 1);
     assert_eq!(plane.borrow().injected(FaultSite::ProxyRpc), 4);
 }
+
+/// Attaches a batched-drain handler (NEWAPI `recv_batch`) that counts
+/// each received descriptor exactly once.
+fn count_batched(app: &AppHandle, fd: Fd) -> Rc<RefCell<usize>> {
+    let got = Rc::new(RefCell::new(0usize));
+    let (app2, got2) = (app.clone(), got.clone());
+    let handler: FdEventFn = Rc::new(RefCell::new(
+        move |sim: &mut psd::sim::Sim, fd: Fd, ev: SockEvent| {
+            if ev == SockEvent::Readable {
+                while let Ok(descs) = AppLib::recv_batch(&app2, sim, fd, 16, 1 << 16, false) {
+                    if descs.is_empty() {
+                        break;
+                    }
+                    *got2.borrow_mut() += descs.len();
+                }
+            }
+        },
+    ));
+    app.borrow_mut().set_event_handler(fd, handler);
+    got
+}
+
+/// A `ShmRing` fault landing mid-batch: with a 16-descriptor doorbell
+/// window open on a migrated receiver, a second bind's migration hits
+/// ring exhaustion. The contract is exactly-once-or-typed: the in-flight
+/// batch delivers exactly once (no duplicated, no dropped descriptor and
+/// no double-paid doorbell), the faulted bind degrades to the server
+/// path with a typed outcome (`migrations_denied`, bind still succeeds),
+/// and batched NEWAPI calls on the degraded descriptor surface a typed
+/// `OpNotSupp` instead of silently corrupting the ring.
+#[test]
+fn shm_ring_fault_mid_batch_keeps_delivery_exactly_once() {
+    use psd::kernel::BatchConfig;
+
+    let mut bed = TestBed::new(SystemConfig::LibraryShm, Platform::DecStation5000_200, 31);
+    bed.set_batch_config(BatchConfig {
+        batch: 16,
+        gro: false,
+        gso: false,
+    });
+    let plane = bed.attach_fault_plane();
+    let rx_app = bed.hosts[1].spawn_app();
+    let os1 = bed.hosts[1].server.clone().unwrap();
+
+    // Receiver A: a migrated SHM session drained through recv_batch.
+    let fd_a = AppLib::socket(&rx_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&rx_app, &mut bed.sim, fd_a, 6100).expect("bind A");
+    let got_a = count_batched(&rx_app, fd_a);
+
+    let tx_app = bed.hosts[0].spawn_app();
+    let tx = AppLib::socket(&tx_app, &mut bed.sim, Proto::Udp);
+    let dst_ip = bed.hosts[1].ip;
+    AppLib::connect(&tx_app, &mut bed.sim, tx, InetAddr::new(dst_ip, 6100)).expect("connect");
+
+    // Warm ARP (the first datagram to a fresh destination is lost while
+    // the address resolves), then settle so the delivered warm count is
+    // exact before the burst.
+    for _ in 0..50 {
+        let _ = AppLib::send(&tx_app, &mut bed.sim, tx, b"warm");
+        bed.run_for(SimTime::from_millis(50));
+        if *got_a.borrow() > 0 {
+            break;
+        }
+    }
+    bed.run_for(SimTime::from_millis(500));
+    let warm = *got_a.borrow();
+    assert!(warm > 0, "warm-up datagram never arrived");
+
+    let crossings_before = bed.hosts[1].kernel.borrow().stats().rx_session_crossings;
+    let denied_before = os1.borrow().stats.migrations_denied;
+    let drops_before = bed.hosts[1].kernel.borrow().stats().drops.total();
+
+    // First half of the burst: the doorbell window on A is open and
+    // frames are still serializing on the wire when the fault lands.
+    let bufs: Vec<Rc<Vec<u8>>> = (0..16u8).map(|i| Rc::new(vec![i; 512])).collect();
+    let mut sent = 0usize;
+    while sent < 8 {
+        match AppLib::send_batch(&tx_app, &mut bed.sim, tx, &bufs[sent..8]) {
+            Ok(n) if n > 0 => sent += n,
+            _ => bed.run_for(SimTime::from_millis(2)),
+        }
+    }
+    bed.run_for(SimTime::from_millis(2));
+
+    // Mid-batch: the very next migrate_prepare hits ring exhaustion.
+    let v = plane.borrow().visits(FaultSite::ShmRing);
+    plane.borrow_mut().script(FaultSite::ShmRing, &[v]);
+    let fd_b = AppLib::socket(&rx_app, &mut bed.sim, Proto::Udp);
+    AppLib::bind(&rx_app, &mut bed.sim, fd_b, 6200)
+        .expect("bind must survive ring exhaustion by degrading to the server path");
+    assert_eq!(plane.borrow().injected(FaultSite::ShmRing), 1);
+    assert_eq!(
+        os1.borrow().stats.migrations_denied,
+        denied_before + 1,
+        "ring exhaustion must surface as a typed denial"
+    );
+
+    // Batched NEWAPI on the degraded (server-resident) descriptor is a
+    // typed error, not a hang or a corrupted ring.
+    assert_eq!(
+        AppLib::recv_batch(&rx_app, &mut bed.sim, fd_b, 16, 1 << 16, false).err(),
+        Some(SocketError::OpNotSupp)
+    );
+    assert_eq!(
+        AppLib::send_batch(&rx_app, &mut bed.sim, fd_b, &bufs[..1]).err(),
+        Some(SocketError::OpNotSupp)
+    );
+
+    // Second half of the burst rides the same window.
+    while sent < 16 {
+        match AppLib::send_batch(&tx_app, &mut bed.sim, tx, &bufs[sent..]) {
+            Ok(n) if n > 0 => sent += n,
+            _ => bed.run_for(SimTime::from_millis(2)),
+        }
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *got_a.borrow() >= warm + 16
+    }));
+    bed.run_for(SimTime::from_secs(1));
+    assert_eq!(
+        *got_a.borrow(),
+        warm + 16,
+        "a mid-batch fault must never duplicate or drop a descriptor"
+    );
+    assert_eq!(
+        bed.hosts[1].kernel.borrow().stats().drops.total(),
+        drops_before,
+        "no descriptor may be dropped around the fault"
+    );
+    // Doorbell accounting is count-based per endpoint, so the burst adds
+    // exactly the ceiling of delivered-over-window crossings — the fault
+    // neither double-pays nor skips a doorbell.
+    let total = warm as u64 + 16;
+    let expected = total.div_ceil(16) - (warm as u64).div_ceil(16);
+    assert_eq!(
+        bed.hosts[1].kernel.borrow().stats().rx_session_crossings - crossings_before,
+        expected
+    );
+
+    // Exactly-once on the degraded descriptor via the classic API.
+    let got_b = count_datagrams(&rx_app, fd_b);
+    let tx2 = AppLib::socket(&tx_app, &mut bed.sim, Proto::Udp);
+    let dst_b = InetAddr::new(dst_ip, 6200);
+    for _ in 0..5 {
+        AppLib::sendto(&tx_app, &mut bed.sim, tx2, b"deg", Some(dst_b)).expect("sendto");
+        bed.run_for(SimTime::from_millis(50));
+    }
+    assert!(run_until(&mut bed, SimTime::from_secs(10), || {
+        *got_b.borrow() >= 5
+    }));
+    bed.run_for(SimTime::from_millis(500));
+    assert_eq!(
+        *got_b.borrow(),
+        5,
+        "server-path delivery must be exactly-once"
+    );
+}
+
+/// Endpoint death mid-batch: a descriptor is sitting in the ring with
+/// its doorbell window open when the endpoint dies (its session
+/// migrated back) and a new owner installs the same filter. The kernel
+/// must re-present the unconsumed frame to the classify path — the
+/// PR 1 reclaim fix — so it reaches the new owner exactly once, under
+/// batching, with no drop and no double-paid doorbell.
+#[test]
+fn endpoint_death_mid_batch_represents_unconsumed_frames() {
+    use psd::filter::EndpointSpec;
+    use psd::kernel::{BatchConfig, Kernel, PacketSink, RxMode};
+    use psd::netdev::Ethernet;
+    use psd::sim::{CostModel, Cpu, Sim, Tracer};
+    use psd::wire::{
+        EtherAddr, EtherType, EthernetHeader, IpProto, Ipv4Header, UdpHeader, UDP_HDR_LEN,
+    };
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const PORT: u16 = 7;
+    const BODY: usize = 1400;
+
+    let mut sim = Sim::new(1);
+    let ether = Ethernet::ten_megabit(&mut sim);
+    let cpu = Rc::new(RefCell::new(Cpu::new()));
+    let tracer = Tracer::shared();
+    cpu.borrow_mut().set_tracer(Some(tracer.clone()));
+    let kernel = Kernel::new(CostModel::decstation_5000_200(), cpu, EtherAddr::local(2));
+    Kernel::connect(&kernel, &ether);
+    ether.borrow_mut().set_tracer(Some(tracer.clone()));
+
+    type Log = Rc<RefCell<Vec<Vec<u8>>>>;
+    fn sink(log: &Log) -> PacketSink {
+        let l = log.clone();
+        Rc::new(RefCell::new(move |_: &mut Sim, _, f: Vec<u8>| {
+            l.borrow_mut().push(f);
+        }))
+    }
+    let log_a: Log = Rc::new(RefCell::new(Vec::new()));
+    let log_b: Log = Rc::new(RefCell::new(Vec::new()));
+
+    let spec = EndpointSpec::unconnected(IpProto::Udp, DST, PORT);
+    let ep_a = {
+        let mut k = kernel.borrow_mut();
+        k.set_batch_config(BatchConfig {
+            batch: 8,
+            gro: false,
+            gso: false,
+        });
+        let ep = k.create_endpoint(RxMode::Shm, sink(&log_a));
+        k.install_filter(spec, ep).unwrap();
+        ep
+    };
+
+    // Five marked datagrams back-to-back: frame 0 finishes serializing
+    // at ~1.16 ms and then charges ~0.5 ms of interrupt-path work, so
+    // its descriptor sits in the ring — doorbell window open, four more
+    // descriptors owed to it — when the endpoint dies at 1.3 ms.
+    let frame = |mark: u8| {
+        let ip = Ipv4Header::new(SRC, DST, IpProto::Udp, UDP_HDR_LEN + BODY);
+        let udp = UdpHeader::new(999, PORT, BODY);
+        let eth = EthernetHeader {
+            dst: EtherAddr::local(2),
+            src: EtherAddr::local(1),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut f = eth.encode().to_vec();
+        f.extend_from_slice(&ip.encode());
+        f.extend_from_slice(&udp.encode());
+        f.extend_from_slice(&vec![mark; BODY]);
+        f
+    };
+    for mark in 0..5u8 {
+        Ethernet::transmit(&ether, &mut sim, SimTime::ZERO, frame(mark));
+    }
+
+    let k2 = kernel.clone();
+    let log_b2 = log_b.clone();
+    sim.at(SimTime::from_micros(1300), move |_| {
+        let mut k = k2.borrow_mut();
+        k.destroy_endpoint(ep_a);
+        let ep_b = k.create_endpoint(RxMode::Shm, sink(&log_b2));
+        k.install_filter(spec, ep_b).unwrap();
+    });
+    sim.run_to_idle();
+
+    // Exactly once, to the new owner: every mark present, none twice,
+    // nothing left on the dead endpoint.
+    assert_eq!(log_a.borrow().len(), 0, "dead endpoint must not consume");
+    let mut marks: Vec<u8> = log_b.borrow().iter().map(|f| f[42]).collect();
+    marks.sort_unstable();
+    assert_eq!(marks, vec![0, 1, 2, 3, 4]);
+    // The unconsumed descriptor took the re-present path (not a fresh
+    // wire arrival), and nothing was dropped.
+    assert_eq!(tracer.borrow().event_count("requeued"), 1);
+    let stats = kernel.borrow().stats();
+    assert_eq!(stats.drops.total(), 0);
+    // Doorbell accounting: the dead endpoint's window paid one crossing
+    // for frame 0; the re-presented descriptor opens the new owner's
+    // window (second crossing) and frames 1-4 ride it. Never more.
+    assert_eq!(stats.rx_session_crossings, 2);
+}
