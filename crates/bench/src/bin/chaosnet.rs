@@ -8,11 +8,17 @@
 //! switch/router stats, and both fault-plane logs.
 //!
 //! Usage: `cargo run --release -p psd-bench --bin chaosnet [--seed N]
-//! [--config LABEL]`
+//! [--config LABEL] [--metrics-out PATH]`
 //!
 //! Everything on stdout is deterministic: two runs with the same
 //! arguments must be byte-identical. CI runs the bin twice and
-//! byte-diffs the outputs.
+//! byte-diffs the outputs. `--metrics-out` attaches the virtual-time
+//! gauge plane (switch/router queue depths — including the RED-managed
+//! middle-link port — ring occupancy, TCP cwnd/ssthresh/RTO, mbuf pool
+//! hit/miss, session counts), samples it every 100 virtual
+//! milliseconds, and writes the timeseries JSON. Sampling never
+//! charges time or
+//! consumes randomness, so stdout stays byte-identical either way.
 
 use psd_core::{AppLib, Fd, FdEventFn};
 use psd_netstack::{InetAddr, SockEvent, SocketError};
@@ -44,7 +50,14 @@ fn main() {
             .expect("unknown --config label"),
     };
 
+    let metrics_out = flag_value("--metrics-out");
+
     let mut bed = MultiHopBed::new(config, Platform::DecStation5000_200, seed);
+    // The chaos run covers ~2 virtual minutes; 100 ms sampling keeps
+    // the timeseries artifact at ~1.3k rows instead of ~130k.
+    let metrics = metrics_out
+        .is_some()
+        .then(|| bed.attach_metrics(SimTime::from_millis(100)));
     let plane = bed.attach_fault_plane();
     {
         let mut p = plane.borrow_mut();
@@ -212,4 +225,10 @@ fn main() {
     );
     println!("plane:\n{}", plane.borrow().snapshot());
     println!("partition:\n{}", partition.borrow().snapshot());
+
+    if let (Some(path), Some(metrics)) = (&metrics_out, &metrics) {
+        let doc = psd_bench::observe::metrics_json("chaosnet", seed, metrics);
+        std::fs::write(path, doc.write()).expect("write metrics json");
+        eprintln!("wrote metrics timeseries to {path}");
+    }
 }

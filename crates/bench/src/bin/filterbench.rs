@@ -16,12 +16,27 @@
 //! before writing it. `--min-speedup` exits nonzero when the
 //! compiled:interpreted ns/match ratio at CSPF/4096 falls below the
 //! given floor.
+//!
+//! `--census-json <path>` / `--trace-out <path>` export the same
+//! observability surface as the table bins. The microbenchmark itself
+//! runs outside the simulator, so these flags drive a small sim-backed
+//! demux workload (seed 77, one cell per strategy) with the census and
+//! packet tracer attached to the real kernel filter path; the
+//! benchmark table is unaffected and both files are byte-identical
+//! across reruns.
 
 use std::process::ExitCode;
 
 use psd_bench::filterbench;
 use psd_bench::json::Json;
+use psd_bench::workload::{session_scaling_with, WorkloadSpec};
 use psd_filter::DemuxStrategy;
+use psd_sim::Platform;
+use psd_systems::SystemConfig;
+
+/// Seed for the sim-backed observability runs (`--census-json` /
+/// `--trace-out`); the microbenchmark itself is seedless.
+const OBS_SEED: u64 = 77;
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -30,6 +45,8 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<String> = None;
     let mut schema_path: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
+    let mut census_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +56,8 @@ fn main() -> ExitCode {
             "--digest" => digest_path = args.next(),
             "--check-baseline" => baseline_path = args.next(),
             "--schema" => schema_path = args.next(),
+            "--census-json" => census_json = args.next(),
+            "--trace-out" => trace_out = args.next(),
             "--min-speedup" => {
                 min_speedup = args.next().and_then(|v| v.parse().ok());
                 if min_speedup.is_none() {
@@ -49,7 +68,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: filterbench [--quick] [--json PATH] [--digest PATH] \
-                     [--check-baseline PATH] [--schema PATH] [--min-speedup X]"
+                     [--check-baseline PATH] [--schema PATH] [--min-speedup X] \
+                     [--census-json PATH] [--trace-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -93,6 +113,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("filterbench: wrote normalized digest to {path}");
+    }
+
+    if census_json.is_some() || trace_out.is_some() {
+        let mut census_docs: Vec<String> = Vec::new();
+        let mut trace_events = String::new();
+        for (idx, strategy) in [DemuxStrategy::Cspf, DemuxStrategy::Mpf]
+            .into_iter()
+            .enumerate()
+        {
+            let label = match strategy {
+                DemuxStrategy::Cspf => "CSPF",
+                DemuxStrategy::Mpf => "MPF",
+            };
+            let spec = WorkloadSpec::at_scale(64, 128, OBS_SEED);
+            let tracer = trace_out.is_some().then(psd_sim::Tracer::shared);
+            let r = session_scaling_with(
+                SystemConfig::LibraryShm,
+                Platform::DecStation5000_200,
+                strategy,
+                &spec,
+                census_json.is_some(),
+                tracer.as_ref(),
+            );
+            if let Some(c) = r.census {
+                census_docs.push(format!(
+                    "{{\"strategy\":\"{label}\",\"sessions\":{},\"filter_runs\":{},\
+                     \"body_copies\":{},\"crossings\":{},\"wakeups\":{}}}",
+                    r.sessions, c.filter_runs, c.body_copies, c.crossings, c.wakeups
+                ));
+            }
+            if let Some(t) = &tracer {
+                let violations = t.borrow().check_invariants();
+                assert!(violations.is_empty(), "trace invariants: {violations:?}");
+                t.borrow().chrome_events(
+                    idx as u64,
+                    &format!("demux [{label}]"),
+                    &mut trace_events,
+                );
+            }
+        }
+        if let Some(path) = &census_json {
+            let doc = format!("{{\"cells\":[{}]}}\n", census_docs.join(","));
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("filterbench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("filterbench: wrote census snapshot to {path}");
+        }
+        if let Some(path) = &trace_out {
+            let doc = psd_sim::chrome_trace_document(&trace_events);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("filterbench: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("filterbench: wrote Chrome trace to {path}");
+        }
     }
 
     if let Some(path) = &baseline_path {

@@ -21,7 +21,17 @@
 //! Tracing charges no virtual time and consumes no randomness, so the
 //! table itself is byte-identical with or without these flags, and the
 //! trace file is byte-identical across reruns (CI asserts both).
+//!
+//! `--profile` attaches the charged-time profiler to every ttcp bed,
+//! asserts the exact-conservation invariant (attributed ns equals CPU
+//! busy ns, bit-exact, per host), and prints per-host hot-site tables
+//! to **stderr** — stdout stays byte-identical to an unprofiled run.
+//! `--profile-out <path>` additionally writes the collapsed-stack
+//! profile artifact. `--metrics-out <path>` samples the virtual-time
+//! gauge plane over each ttcp run (10 ms virtual period) and writes
+//! the timeseries artifact. All three are charged-time-neutral.
 
+use psd_bench::observe;
 use psd_bench::tables::{fmt_pair, table2_for, TCP_SIZES, UDP_SIZES};
 use psd_bench::{protolat, ttcp, ApiStyle};
 use psd_filter::FilterEngine;
@@ -43,6 +53,9 @@ fn main() {
     let want_stages = args.iter().any(|a| a == "--stages");
     let trace_out = flag_value(&args, "--trace-out");
     let census_json = flag_value(&args, "--census-json");
+    let profile_out = flag_value(&args, "--profile-out");
+    let metrics_out = flag_value(&args, "--metrics-out");
+    let profiling = args.iter().any(|a| a == "--profile") || profile_out.is_some();
     // Like `--faults`, the engine choice must never show in the output:
     // the compiled filter tier is observationally identical to the
     // interpreter, and CI byte-diffs a run under each engine.
@@ -57,6 +70,8 @@ fn main() {
     let tracing = trace_out.is_some() || want_stages;
     let mut trace_events = String::new();
     let mut census_docs: Vec<String> = Vec::new();
+    let mut profile_runs: Vec<observe::ProfiledRun> = Vec::new();
+    let mut metrics_rows: Vec<(String, psd_sim::MetricsHandle)> = Vec::new();
     let mut row_idx: u64 = 0;
     let (bytes, rounds) = if quick {
         (2 << 20, 50)
@@ -91,7 +106,27 @@ fn main() {
             if want_faults {
                 let _plane = bed.attach_fault_plane();
             }
+            let profilers = profiling.then(|| bed.attach_profilers());
+            // 10 ms sampling: a full ttcp run covers tens of virtual
+            // seconds per row, so 1 ms would balloon the artifact.
+            let metrics = metrics_out
+                .is_some()
+                .then(|| bed.attach_metrics(psd_sim::SimTime::from_millis(10)));
             let t = ttcp(&mut bed, bytes, ApiStyle::Classic);
+            let row_label = format!("{} | {}", platform.label(), config.label());
+            if let Some(profilers) = &profilers {
+                profile_runs.push(observe::ProfiledRun {
+                    label: row_label.clone(),
+                    hosts: profilers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| observe::host_profile(i, &bed.hosts[i].cpu, p))
+                        .collect(),
+                });
+            }
+            if let Some(metrics) = metrics {
+                metrics_rows.push((row_label, metrics));
+            }
             println!("{}", config.label());
             println!(
                 "  throughput KB/s : {}   [buf {} KB]",
@@ -232,5 +267,18 @@ fn main() {
         let doc = format!("{{\"rows\":[{}]}}\n", census_docs.join(","));
         std::fs::write(path, doc).expect("write census json");
         eprintln!("wrote census snapshot to {path}");
+    }
+    if profiling {
+        observe::print_hot_tables(&profile_runs);
+    }
+    if let Some(path) = &profile_out {
+        let doc = observe::profile_json("table2", &profile_runs);
+        std::fs::write(path, doc.write()).expect("write profile json");
+        eprintln!("wrote charged-time profile to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        let doc = observe::metrics_rows_json("table2", 42, &metrics_rows);
+        std::fs::write(path, doc.write()).expect("write metrics json");
+        eprintln!("wrote metrics timeseries to {path}");
     }
 }

@@ -18,8 +18,15 @@
 //! covering every run (one trace process per `(config, strategy, N)`
 //! cell); `--census-json` writes the per-cell receive-host census as
 //! JSON. Neither flag changes the table output.
+//!
+//! `--profile` attaches the charged-time profiler to every cell's
+//! testbed, asserts exact conservation (attributed ns == CPU busy ns,
+//! bit-exact, per host), and prints hot-site tables to stderr;
+//! `--profile-out <path>` writes the collapsed-stack artifact. Both
+//! are charged-time-neutral: stdout is byte-identical either way.
 
-use psd_bench::workload::{session_scaling_with, ScaleReport, WorkloadSpec};
+use psd_bench::observe;
+use psd_bench::workload::{session_scaling_observed, ScaleReport, WorkloadSpec};
 use psd_filter::{DemuxStrategy, FilterEngine};
 use psd_sim::Platform;
 use psd_systems::SystemConfig;
@@ -45,6 +52,8 @@ fn main() {
     let want_census = std::env::args().any(|a| a == "--census");
     let trace_out = flag_value("--trace-out");
     let census_json = flag_value("--census-json");
+    let profile_out = flag_value("--profile-out");
+    let profiling = std::env::args().any(|a| a == "--profile") || profile_out.is_some();
     // The filter engine never appears in the output: the compiled tier
     // is observationally identical to the interpreter, and CI diffs a
     // run under each engine to prove it.
@@ -58,6 +67,7 @@ fn main() {
     };
     let mut trace_events = String::new();
     let mut census_docs: Vec<String> = Vec::new();
+    let mut profile_runs: Vec<observe::ProfiledRun> = Vec::new();
     let mut cell_idx: u64 = 0;
     let (scales, packets): (&[usize], usize) = if quick {
         (&[16, 128], 256)
@@ -92,14 +102,26 @@ fn main() {
             for &n in scales {
                 let spec = WorkloadSpec::at_scale(n, packets, SEED).with_engine(engine);
                 let tracer = trace_out.is_some().then(psd_sim::Tracer::shared);
-                let r = session_scaling_with(
+                let r = session_scaling_observed(
                     config,
                     platform,
                     strategy,
                     &spec,
                     want_census || census_json.is_some(),
                     tracer.as_ref(),
+                    profiling,
                 );
+                if profiling {
+                    profile_runs.push(observe::ProfiledRun {
+                        label: format!("{} [{}] N={}", config.label(), strategy_label(strategy), n),
+                        hosts: r
+                            .profiles
+                            .iter()
+                            .enumerate()
+                            .map(|(i, (cpu, prof))| observe::host_profile(i, cpu, prof))
+                            .collect(),
+                    });
+                }
                 println!(
                     "  {:>6}  {:>7}  {:>9.1}  {:>9.0}  {:>11.1}  {:>12.2}",
                     r.sessions,
@@ -235,5 +257,13 @@ fn main() {
         let doc = format!("{{\"cells\":[{}]}}\n", census_docs.join(","));
         std::fs::write(path, doc).expect("write census json");
         eprintln!("wrote census snapshot to {path}");
+    }
+    if profiling {
+        observe::print_hot_tables(&profile_runs);
+    }
+    if let Some(path) = &profile_out {
+        let doc = observe::profile_json("table5", &profile_runs);
+        std::fs::write(path, doc.write()).expect("write profile json");
+        eprintln!("wrote charged-time profile to {path}");
     }
 }

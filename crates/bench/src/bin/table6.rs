@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! table6 [--quick] [--json PATH] [--check-baseline PATH] [--schema PATH]
+//!        [--census-json PATH] [--trace-out PATH]
+//!        [--profile] [--profile-out PATH]
 //! ```
 //!
 //! Prints the human table to stdout. `--json` writes the machine
@@ -15,17 +17,28 @@
 //! against a schema file before writing it. The run itself asserts the
 //! hard invariants (lossless burst, crossings exactly packets/B) and
 //! the monotone-decrease acceptance trend.
+//!
+//! The observability flags match the other table bins: `--census-json`
+//! writes per-cell census snapshots, `--trace-out` writes a Chrome
+//! trace (one trace process per cell), `--profile` attaches the
+//! charged-time profiler (conservation asserted, hot-site tables to
+//! stderr), and `--profile-out` writes the collapsed-stack artifact.
+//! None of them changes the table or the `--json` artifact.
 
 use std::process::ExitCode;
 
 use psd_bench::json::Json;
-use psd_bench::table6;
+use psd_bench::{observe, table6};
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut schema_path: Option<String> = None;
+    let mut census_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,10 +47,16 @@ fn main() -> ExitCode {
             "--json" => json_path = args.next(),
             "--check-baseline" => baseline_path = args.next(),
             "--schema" => schema_path = args.next(),
+            "--census-json" => census_json = args.next(),
+            "--trace-out" => trace_out = args.next(),
+            "--profile" => profile = true,
+            "--profile-out" => profile_out = args.next(),
             "--help" | "-h" => {
                 println!(
                     "usage: table6 [--quick] [--json PATH] \
-                     [--check-baseline PATH] [--schema PATH]"
+                     [--check-baseline PATH] [--schema PATH] \
+                     [--census-json PATH] [--trace-out PATH] \
+                     [--profile] [--profile-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,14 +66,74 @@ fn main() -> ExitCode {
             }
         }
     }
+    let profiling = profile || profile_out.is_some();
 
-    let bench = table6::run(quick);
+    let (bench, obs) = table6::run_observed(quick, trace_out.is_some(), profiling);
     print!("{}", bench.table());
     if let Err(e) = bench.check_monotone() {
         eprintln!("table6: MONOTONICITY FAILED — {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("table6: crossings/pkt and ns/pkt decrease monotonically in B");
+
+    if let Some(path) = &census_json {
+        let rows: Vec<String> = obs
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"label\":\"{}\",\"hosts\":[{}]}}",
+                    o.label,
+                    o.census_hosts.join(",")
+                )
+            })
+            .collect();
+        let doc = format!("{{\"rows\":[{}]}}\n", rows.join(","));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("table6: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("table6: wrote census snapshot to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let mut trace_events = String::new();
+        for (idx, o) in obs.iter().enumerate() {
+            let t = o.tracer.as_ref().expect("tracer attached for --trace-out");
+            let violations = t.borrow().check_invariants();
+            assert!(violations.is_empty(), "trace invariants: {violations:?}");
+            t.borrow()
+                .chrome_events(idx as u64, &o.label, &mut trace_events);
+        }
+        let doc = psd_sim::chrome_trace_document(&trace_events);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("table6: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("table6: wrote Chrome trace to {path}");
+    }
+    if profiling {
+        let runs: Vec<observe::ProfiledRun> = obs
+            .iter()
+            .map(|o| observe::ProfiledRun {
+                label: o.label.clone(),
+                hosts: o
+                    .profiles
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (cpu, prof))| observe::host_profile(i, cpu, prof))
+                    .collect(),
+            })
+            .collect();
+        observe::print_hot_tables(&runs);
+        if let Some(path) = &profile_out {
+            let doc = observe::profile_json("table6", &runs);
+            if let Err(e) = std::fs::write(path, doc.write()) {
+                eprintln!("table6: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("table6: wrote charged-time profile to {path}");
+        }
+    }
+
     let artifact = bench.to_json();
 
     if let Some(path) = &schema_path {

@@ -10,13 +10,17 @@
 //! proxy interface — the same socket API every configuration exports —
 //! so a single workload implementation measures all eight systems.
 
+pub mod benchdiff;
 pub mod filterbench;
 pub mod json;
+pub mod observe;
 pub mod selfbench;
 pub mod table6;
 pub mod tables;
 pub mod workload;
 pub mod workloads;
 
-pub use workload::{session_scaling, session_scaling_with, ScaleReport, WorkloadSpec};
+pub use workload::{
+    session_scaling, session_scaling_observed, session_scaling_with, ScaleReport, WorkloadSpec,
+};
 pub use workloads::{protolat, ttcp, ApiStyle, ProtolatResult, TtcpResult};

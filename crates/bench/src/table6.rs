@@ -87,7 +87,8 @@ pub enum CopyMode {
 }
 
 impl CopyMode {
-    fn label(self) -> &'static str {
+    /// Human/table label for the mode.
+    pub fn label(self) -> &'static str {
         match self {
             CopyMode::Eager => "eager",
             CopyMode::Resident => "resident",
@@ -173,9 +174,37 @@ pub struct Table6 {
     pub rows: Vec<Table6Row>,
 }
 
+/// Per-cell observability hooks collected by [`run_cell_observed`]:
+/// everything here is charged-time-neutral, so [`Table6Row`] is
+/// byte-identical whether or not any hook was requested.
+pub struct CellObs {
+    /// `config | mode | B` label for artifact rows.
+    pub label: String,
+    /// Per-host census snapshots as JSON (the census is always
+    /// attached; the snapshot is only exported on request).
+    pub census_hosts: Vec<String>,
+    /// Packet-lifecycle tracer, when tracing was requested.
+    pub tracer: Option<psd_sim::TraceHandle>,
+    /// Per-host `(cpu, profiler)` pairs, when profiling was requested.
+    pub profiles: Vec<(Rc<std::cell::RefCell<psd_sim::Cpu>>, psd_sim::ProfileHandle)>,
+}
+
 /// Runs one cell and checks its hard invariants: zero drops, every
 /// datagram delivered, and the crossing count exactly `packets / B`.
 pub fn run_cell(config: SystemConfig, mode: CopyMode, batch: usize, packets: usize) -> Table6Row {
+    run_cell_observed(config, mode, batch, packets, false, false).0
+}
+
+/// [`run_cell`] with optional packet tracing and charged-time
+/// profiling attached to the cell's testbed.
+pub fn run_cell_observed(
+    config: SystemConfig,
+    mode: CopyMode,
+    batch: usize,
+    packets: usize,
+    trace: bool,
+    profile: bool,
+) -> (Table6Row, CellObs) {
     assert!(
         packets.is_multiple_of(batch),
         "packets must divide by the window"
@@ -192,6 +221,11 @@ pub fn run_cell(config: SystemConfig, mode: CopyMode, batch: usize, packets: usi
         ));
     }
     let censuses = bed.attach_census();
+    let tracer = trace.then(psd_sim::Tracer::shared);
+    if let Some(t) = &tracer {
+        bed.attach_tracer_handle(t);
+    }
+    let profilers = profile.then(|| bed.attach_profilers());
 
     // Sender on host 0, one connected UDP socket; receiver session on
     // host 1. The receiver binds before the policy could matter: the
@@ -281,7 +315,7 @@ pub fn run_cell(config: SystemConfig, mode: CopyMode, batch: usize, packets: usi
         config.label()
     );
 
-    Table6Row {
+    let row = Table6Row {
         config,
         mode,
         batch,
@@ -292,7 +326,25 @@ pub fn run_cell(config: SystemConfig, mode: CopyMode, batch: usize, packets: usi
         header_copies: headers1 - headers0,
         header_only: k1.header_only_deliveries - k0.header_only_deliveries,
         busy_ns: (busy1 - busy0).as_nanos(),
-    }
+    };
+    let obs = CellObs {
+        label: format!("{} | {} | B={batch}", config.label(), mode.label()),
+        census_hosts: censuses
+            .iter()
+            .map(|c| c.borrow().snapshot_json())
+            .collect(),
+        tracer,
+        profiles: profilers
+            .map(|ps| {
+                bed.hosts
+                    .iter()
+                    .zip(ps)
+                    .map(|(h, p)| (h.cpu.clone(), p))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    };
+    (row, obs)
 }
 
 fn drain(bed: &mut TestBed, app: &psd_core::AppHandle, fd: Fd, pull: bool) -> usize {
@@ -309,20 +361,31 @@ fn drain(bed: &mut TestBed, app: &psd_core::AppHandle, fd: Fd, pull: bool) -> us
 
 /// Runs the full (or `--quick`) Table 6 matrix.
 pub fn run(quick: bool) -> Table6 {
+    run_observed(quick, false, false).0
+}
+
+/// [`run`] with per-cell observability hooks (tracing / profiling).
+pub fn run_observed(quick: bool, trace: bool, profile: bool) -> (Table6, Vec<CellObs>) {
     let packets = if quick { PACKETS_QUICK } else { PACKETS_FULL };
     let mut rows = Vec::new();
+    let mut obs = Vec::new();
     for config in CONFIGS {
         for &mode in modes(quick) {
             for &b in batches(quick) {
-                rows.push(run_cell(config, mode, b, packets));
+                let (row, o) = run_cell_observed(config, mode, b, packets, trace, profile);
+                rows.push(row);
+                obs.push(o);
             }
         }
     }
-    Table6 {
-        quick,
-        packets,
-        rows,
-    }
+    (
+        Table6 {
+            quick,
+            packets,
+            rows,
+        },
+        obs,
+    )
 }
 
 impl Table6 {

@@ -170,6 +170,11 @@ pub struct ScaleReport {
     pub events: u64,
     /// Receiving-host census totals, when a census was attached.
     pub census: Option<CensusCounts>,
+    /// Per-host `(cpu, profiler)` pairs when charged-time profiling was
+    /// requested (the handles outlive the testbed), empty otherwise.
+    /// Profiling charges no virtual time, so every other field is
+    /// byte-identical with or without it.
+    pub profiles: Vec<(Rc<RefCell<psd_sim::Cpu>>, psd_sim::ProfileHandle)>,
     /// Wall-clock duration of the whole run (never byte-stable; keep
     /// off reproducible output).
     pub wall: Duration,
@@ -201,6 +206,22 @@ pub fn session_scaling_with(
     want_census: bool,
     tracer: Option<&psd_sim::TraceHandle>,
 ) -> ScaleReport {
+    session_scaling_observed(config, platform, strategy, spec, want_census, tracer, false)
+}
+
+/// [`session_scaling_with`] plus an optional charged-time profiler on
+/// every host CPU; the handles come back in [`ScaleReport::profiles`].
+/// Like tracing, profiling is charged-time-neutral.
+#[allow(clippy::too_many_arguments)]
+pub fn session_scaling_observed(
+    config: SystemConfig,
+    platform: Platform,
+    strategy: DemuxStrategy,
+    spec: &WorkloadSpec,
+    want_census: bool,
+    tracer: Option<&psd_sim::TraceHandle>,
+    profile: bool,
+) -> ScaleReport {
     let wall0 = Instant::now();
     let mut bed = TestBed::new(config, platform, spec.seed);
     // The strategy must be chosen while the filter table is empty.
@@ -216,6 +237,7 @@ pub fn session_scaling_with(
     if let Some(t) = tracer {
         bed.attach_tracer_handle(t);
     }
+    let profilers = profile.then(|| bed.attach_profilers());
     let mut rng = Rng::new(spec.seed ^ 0x5EED_5CA1_E000_0001);
 
     // --- Sender: a few fixed source sockets. ---
@@ -400,6 +422,15 @@ pub fn session_scaling_with(
         ballast_timers: spec.ballast_timers,
         events,
         census,
+        profiles: profilers
+            .map(|ps| {
+                bed.hosts
+                    .iter()
+                    .zip(ps)
+                    .map(|(h, p)| (h.cpu.clone(), p))
+                    .collect()
+            })
+            .unwrap_or_default(),
         wall: wall0.elapsed(),
         wall_burst,
     }

@@ -45,7 +45,7 @@ use psd_kernel::{EndpointId, KernelHandle, RxMode};
 use psd_netstack::stack::StackHandle;
 use psd_netstack::{InetAddr, NetStack, Placement, SockEvent, SockId};
 use psd_server::{PortNamespace, ProcId, Proto, ServerHandle, SessionId, UserNetIf};
-use psd_sim::{Charge, CostModel, Cpu, Sim, SimTime};
+use psd_sim::{Charge, CostModel, Cpu, Domain, Sim, SimTime};
 
 pub use select::SelectOutcome;
 
@@ -343,9 +343,13 @@ impl AppLib {
 
     /// Opens a CPU charge cursor at the current time (for callers that
     /// perform application-level work they want priced, e.g. benchmark
-    /// bookkeeping).
+    /// bookkeeping). The cursor is rooted at an `app` profiling site:
+    /// every charge opened here ends in the same call (syscall-shaped),
+    /// so the site needs no balancing pop.
     pub fn begin(&self, sim: &Sim) -> Charge {
-        self.cpu.borrow_mut().begin(sim.now())
+        let mut charge = self.cpu.borrow_mut().begin(sim.now());
+        charge.site_push(Domain::Library, "app");
+        charge
     }
 
     /// Completes a charge cursor.

@@ -27,7 +27,7 @@
 //! the calibrated [`CostModel`]; the crossings are recorded on the
 //! latency probe so Table 4's asterisks can be regenerated.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -418,6 +418,10 @@ pub struct Kernel {
     gro: HashMap<EndpointId, GroSlot>,
     /// Monotone generation counter guarding GRO deadline events.
     gro_gen: u64,
+    /// Packets handed to an asynchronous delivery channel (IPC message
+    /// or SHM ring) and not yet consumed by the receiving sink. Shared
+    /// so the metrics plane can read it without borrowing the kernel.
+    ring_occupancy: Rc<Cell<u64>>,
     stats: KernelStats,
 }
 
@@ -444,6 +448,7 @@ impl Kernel {
             placement_policy: None,
             gro: HashMap::new(),
             gro_gen: 0,
+            ring_occupancy: Rc::new(Cell::new(0)),
             stats: KernelStats::default(),
         }));
         handle.borrow_mut().me = Rc::downgrade(&handle);
@@ -523,6 +528,24 @@ impl Kernel {
     /// Interface counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Packets currently in flight through an asynchronous delivery
+    /// channel (IPC message queue or SHM ring), i.e. handed off by the
+    /// interrupt path but not yet consumed by the receiving sink.
+    pub fn ring_occupancy(&self) -> u64 {
+        self.ring_occupancy.get()
+    }
+
+    /// Shared counter behind [`Kernel::ring_occupancy`], for gauges that
+    /// must read it without borrowing the kernel.
+    pub fn ring_occupancy_cell(&self) -> Rc<Cell<u64>> {
+        self.ring_occupancy.clone()
+    }
+
+    /// Number of live receive endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
     }
 
     // --- Endpoint and filter management (invoked by the OS server) ---
@@ -674,6 +697,7 @@ impl Kernel {
             let k = this.borrow();
             (k.costs.trap, k.costs.kcopy_byte, k.costs.dev_write_byte)
         };
+        charge.site_push(Domain::Kernel, "tx");
         charge.crossing_in(
             Domain::Kernel,
             Layer::EtherOutput,
@@ -696,6 +720,7 @@ impl Kernel {
                     // Census-only: a transmit attempted while a received
                     // packet is current must not terminate that packet.
                     charge.count_drop(DropReason::TxLimited, Domain::Kernel);
+                    charge.site_pop();
                     return;
                 }
             }
@@ -703,6 +728,7 @@ impl Kernel {
         charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
         charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(this, sim, charge.at(), frame, true);
+        charge.site_pop();
     }
 
     /// Installs (or clears) the outbound packet limiter: a filter
@@ -722,9 +748,11 @@ impl Kernel {
         frame: Vec<u8>,
     ) {
         let devw = this.borrow().costs.dev_write_byte;
+        charge.site_push(Domain::Kernel, "tx");
         charge.add_per_byte(Layer::EtherOutput, devw, frame.len());
         charge.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::EtherOutput);
         Kernel::enqueue_tx(this, sim, charge.at(), frame, false);
+        charge.site_pop();
     }
 
     /// Hands a fully charged frame to the wire at `ready`. Entirely
@@ -774,6 +802,9 @@ impl Station for Kernel {
     fn frame_arrived(&mut self, sim: &mut Sim, frame: Vec<u8>) {
         self.stats.rx_frames += 1;
         let mut charge = self.cpu.borrow_mut().begin(sim.now());
+        // The charge ends inside this function on every path, so the
+        // site needs no balancing pop.
+        charge.site_push(Domain::Kernel, "rx");
         // Field the interrupt.
         charge.trace_span_start(Stage::NicRx);
         charge.add_ns(Layer::DeviceIntrRead, self.costs.intr_dispatch);
@@ -976,6 +1007,7 @@ impl Kernel {
             };
             (ep.mode, pay)
         };
+        charge.site_push(Domain::Kernel, "deliver");
         // Delivery crossings are attributed to the domain being entered:
         // the default endpoint is the operating system server, session
         // endpoints belong to applications.
@@ -1053,7 +1085,10 @@ impl Kernel {
                 if let Some(sink) = sink {
                     let at = charge.at();
                     let (tracer, tid) = trace_ctx(charge);
+                    let ring = self.ring_occupancy.clone();
+                    ring.set(ring.get() + 1);
                     sim.at(at, move |sim| {
+                        ring.set(ring.get() - 1);
                         if let (Some(tr), Some(pkt)) = (&tracer, tid) {
                             tr.borrow_mut().push_current(pkt);
                         }
@@ -1113,6 +1148,8 @@ impl Kernel {
                 let ready = charge.at();
                 let me = self.me.clone();
                 let (tracer, tid) = trace_ctx(charge);
+                let ring = self.ring_occupancy.clone();
+                ring.set(ring.get() + 1);
                 sim.at(ready, move |sim| {
                     let Some(kernel) = me.upgrade() else { return };
                     let now = sim.now();
@@ -1173,6 +1210,7 @@ impl Kernel {
                         Some((sink, at)) => {
                             let tracer = tracer.clone();
                             sim.at(at, move |sim| {
+                                ring.set(ring.get() - 1);
                                 if let (Some(tr), Some(pkt)) = (&tracer, tid) {
                                     tr.borrow_mut().push_current(pkt);
                                 }
@@ -1192,6 +1230,7 @@ impl Kernel {
                             // so re-presenting the frame lets the
                             // classify path find the session's new
                             // owner instead of leaking the packet.
+                            ring.set(ring.get() - 1);
                             if let (Some(tr), Some(pkt)) = (&tracer, tid) {
                                 tr.borrow_mut().event(pkt, now, "requeued");
                                 tr.borrow_mut().push_current(pkt);
@@ -1207,6 +1246,7 @@ impl Kernel {
                 });
             }
         }
+        charge.site_pop();
     }
 
     /// GRO admission: returns the frame to deliver now, or `None` if it

@@ -60,6 +60,16 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Total pool hits across every buffer class.
+    pub fn hits(&self) -> u64 {
+        self.small_hits + self.cluster_hits + self.node_hits
+    }
+
+    /// Total pool misses (fresh allocations) across every buffer class.
+    pub fn misses(&self) -> u64 {
+        self.small_misses + self.cluster_misses + self.node_misses
+    }
+
     const fn new() -> PoolStats {
         PoolStats {
             small_hits: 0,

@@ -287,6 +287,18 @@ impl Switch {
         self.drops
     }
 
+    /// Current egress queue depth of `port` (frames admitted and not
+    /// yet drained onto the wire).
+    pub fn port_depth(&self, port: usize) -> usize {
+        self.ports[port].depth.get()
+    }
+
+    /// Shared depth counter behind [`Switch::port_depth`], for gauges
+    /// that must read it without borrowing the switch.
+    pub fn port_depth_cell(&self, port: usize) -> Rc<Cell<usize>> {
+        self.ports[port].depth.clone()
+    }
+
     /// Sends one admitted-or-dropped frame out `port`, returning the
     /// drop reason if the queue refused it.
     fn egress(&mut self, sim: &mut Sim, port: usize, frame: Vec<u8>) -> Option<DropReason> {
@@ -517,6 +529,18 @@ impl Router {
     /// Always-on per-reason drop counters.
     pub fn drops(&self) -> DropCounters {
         self.drops
+    }
+
+    /// Current egress queue depth of `port` (frames admitted and not
+    /// yet drained onto the wire).
+    pub fn port_depth(&self, port: usize) -> usize {
+        self.ports[port].depth.get()
+    }
+
+    /// Shared depth counter behind [`Router::port_depth`], for gauges
+    /// that must read it without borrowing the router.
+    pub fn port_depth_cell(&self, port: usize) -> Rc<Cell<usize>> {
+        self.ports[port].depth.clone()
     }
 
     fn lookup(&self, dst: Ipv4Addr) -> Option<RouterRoute> {

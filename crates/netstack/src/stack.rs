@@ -810,6 +810,7 @@ impl NetStack {
         // path re-validates the pcb route on every datagram and takes
         // the full spl dance; the library caches the session route in
         // its connected pcb.
+        charge.site_push(self.placement.domain(), "udp_output");
         charge.add_ns(Layer::TcpUdpOutput, self.costs.udp_output_base);
         match self.placement {
             Placement::Library => self.sync(charge, Layer::TcpUdpOutput, 1),
@@ -842,7 +843,9 @@ impl NetStack {
         let mut payload = udp.encode().to_vec();
         payload.extend_from_slice(&chain.to_vec());
         self.stats.udp_out += 1;
-        self.ip_output(sim, charge, remote.ip, IpProto::Udp, payload)
+        let out = self.ip_output(sim, charge, remote.ip, IpProto::Udp, payload);
+        charge.site_pop();
+        out
     }
 
     /// Opens a transmit batch window on the interface (a batched
@@ -1065,6 +1068,31 @@ impl NetStack {
         }
     }
 
+    /// Number of live sockets (any protocol, any state).
+    pub fn session_count(&self) -> usize {
+        self.socks.len()
+    }
+
+    /// Order-independent aggregate TCP gauges for the metrics plane:
+    /// `(connections, sum cwnd, sum ssthresh, sum rto_ns)` over every
+    /// established TCB. Sums (not per-sock rows) because `socks` is a
+    /// `HashMap` — iteration order must not leak into artifacts.
+    pub fn tcp_gauges(&self) -> (u64, u64, u64, u64) {
+        let mut conns = 0u64;
+        let mut cwnd = 0u64;
+        let mut ssthresh = 0u64;
+        let mut rto_ns = 0u64;
+        for e in self.socks.values() {
+            if let SockState::Tcp(tcb) = &e.state {
+                conns += 1;
+                cwnd += u64::from(tcb.cwnd());
+                ssthresh += u64::from(tcb.ssthresh());
+                rto_ns += tcb.rto().as_nanos();
+            }
+        }
+        (conns, cwnd, ssthresh, rto_ns)
+    }
+
     // --- Close / teardown ---
 
     /// Orderly close. TCP runs the FIN handshake in the background; the
@@ -1183,6 +1211,20 @@ impl NetStack {
     // --- Output path ---
 
     fn ip_output(
+        &mut self,
+        sim: &mut Sim,
+        charge: &mut Charge,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        payload: Vec<u8>,
+    ) -> Result<(), SocketError> {
+        charge.site_push(self.placement.domain(), "ip_output");
+        let out = self.ip_output_inner(sim, charge, dst, proto, payload);
+        charge.site_pop();
+        out
+    }
+
+    fn ip_output_inner(
         &mut self,
         sim: &mut Sim,
         charge: &mut Charge,
@@ -1315,6 +1357,7 @@ impl NetStack {
         // Package the packet as an mbuf chain and queue it on the
         // protocol input queue. (The monolithic kernel does this inside
         // its netisr accounting — Table 4 shows zero for this row.)
+        charge.site_push(self.placement.domain(), "input");
         if self.placement != Placement::Kernel {
             charge.add_ns(Layer::MbufQueue, self.costs.mbuf_alloc);
             charge.add_ns(Layer::MbufQueue, self.costs.sbappend_base / 2);
@@ -1328,6 +1371,7 @@ impl NetStack {
                 charge.trace_drop(DropReason::UnsupportedEtherType, self.placement.domain());
             }
         }
+        charge.site_pop();
     }
 
     fn arp_input(&mut self, sim: &mut Sim, charge: &mut Charge, pkt: &[u8], _src: EtherAddr) {
@@ -1408,8 +1452,16 @@ impl NetStack {
         payload: &[u8],
     ) {
         match ip.proto {
-            IpProto::Udp => self.udp_input(sim, charge, ip, payload),
-            IpProto::Tcp => self.tcp_input(sim, charge, ip, payload),
+            IpProto::Udp => {
+                charge.site_push(self.placement.domain(), "udp_input");
+                self.udp_input(sim, charge, ip, payload);
+                charge.site_pop();
+            }
+            IpProto::Tcp => {
+                charge.site_push(self.placement.domain(), "tcp_input");
+                self.tcp_input(sim, charge, ip, payload);
+                charge.site_pop();
+            }
             IpProto::Icmp => self.icmp_input(sim, charge, ip, payload),
             IpProto::Other(_) => {
                 self.stats.drops.note(DropReason::UnsupportedProtocol);
@@ -1749,6 +1801,7 @@ impl NetStack {
     }
 
     fn emit_segment(&mut self, sim: &mut Sim, charge: &mut Charge, spec: &SegmentSpec) {
+        charge.site_push(self.placement.domain(), "tcp_output");
         self.stats.tcp_out += 1;
         if spec.rexmit {
             self.stats.tcp_rexmt += 1;
@@ -1789,6 +1842,7 @@ impl NetStack {
         let mut payload = tcp_bytes;
         payload.extend_from_slice(&spec.data.to_vec());
         let _ = self.ip_output(sim, charge, spec.remote.ip, IpProto::Tcp, payload);
+        charge.site_pop();
     }
 
     fn icmp_input(&mut self, sim: &mut Sim, charge: &mut Charge, ip: &Ipv4Header, pkt: &[u8]) {

@@ -394,6 +394,11 @@ impl Tcb {
         self.cwnd
     }
 
+    /// Current slow-start threshold (for tests/benchmarks).
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
     // --- Opens ---
 
     /// Active open: send SYN (stack supplies the ISS).

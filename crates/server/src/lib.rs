@@ -34,7 +34,7 @@ use psd_kernel::{rpc_control_charge, EndpointId, KernelHandle, PacketSink, RxMod
 use psd_netstack::stack::{SessionState, StackHandle};
 use psd_netstack::udp::UdpSnapshot;
 use psd_netstack::{InetAddr, NetStack, Placement, Route, SockEvent, SockId, SocketError};
-use psd_sim::{Charge, CostModel, FaultSite, Layer, Sim, SimTime};
+use psd_sim::{Charge, CostModel, Domain, FaultSite, Layer, Sim, SimTime};
 use psd_wire::{EtherAddr, IpProto};
 
 /// A simulated process known to the server.
@@ -1374,7 +1374,10 @@ impl OsServer {
         data: &[u8],
     ) -> Result<usize, SocketError> {
         let sock = self.resident_sock(sid)?;
-        self.stack.borrow_mut().tcp_send(sim, charge, sock, data)
+        charge.site_push(Domain::Server, "data_send");
+        let out = self.stack.borrow_mut().tcp_send(sim, charge, sock, data);
+        charge.site_pop();
+        out
     }
 
     /// TCP receive on a server-resident session.
@@ -1386,7 +1389,10 @@ impl OsServer {
         buf: &mut [u8],
     ) -> Result<usize, SocketError> {
         let sock = self.resident_sock(sid)?;
-        self.stack.borrow_mut().tcp_recv(sim, charge, sock, buf)
+        charge.site_push(Domain::Server, "data_recv");
+        let out = self.stack.borrow_mut().tcp_recv(sim, charge, sock, buf);
+        charge.site_pop();
+        out
     }
 
     /// UDP send on a server-resident session.
@@ -1416,9 +1422,13 @@ impl OsServer {
             Err(SocketError::NotConnected) => self.ensure_server_sock(sim, sid)?,
             Err(e) => return Err(e),
         };
-        self.stack
+        charge.site_push(Domain::Server, "data_send");
+        let out = self
+            .stack
             .borrow_mut()
-            .udp_send(sim, charge, sock, data, dst)
+            .udp_send(sim, charge, sock, data, dst);
+        charge.site_pop();
+        out
     }
 
     /// UDP receive on a server-resident session.
@@ -1430,7 +1440,10 @@ impl OsServer {
         buf: &mut [u8],
     ) -> Result<(usize, InetAddr), SocketError> {
         let sock = self.resident_sock(sid)?;
-        self.stack.borrow_mut().udp_recv(sim, charge, sock, buf)
+        charge.site_push(Domain::Server, "data_recv");
+        let out = self.stack.borrow_mut().udp_recv(sim, charge, sock, buf);
+        charge.site_pop();
+        out
     }
 
     /// Readable/writable poll for a server-resident session.

@@ -12,12 +12,30 @@
 //! behind `busy_until` and end-to-end bandwidth drops — exactly the
 //! effect that separates the server-based configuration from the others
 //! in Table 2.
+//!
+//! Five observability planes can attach to a CPU — latency probe,
+//! operation census, fault plane, packet tracer, and charged-time
+//! profiler. All are charged-time-neutral. Their dispatch is flattened
+//! into a single packed bitmask recomputed at attach time and copied
+//! into each [`Charge`]: the hot methods test one byte and fall through
+//! in the (default) all-detached case, instead of walking a chain of
+//! `Option` checks.
 
 use crate::census::{CensusHandle, Domain, OpKind};
 use crate::fault::{FaultPlaneHandle, FaultSite};
 use crate::probe::{Layer, ProbeHandle};
+use crate::profile::{ProfEntry, ProfileHandle, NO_PACKET, ROOT_SITE};
 use crate::time::SimTime;
 use crate::trace::{DropReason, Stage, Terminal, TraceHandle};
+
+// The packed dispatch mask: one bit per attachable plane. `Cpu`
+// recomputes it on every attach/detach; `begin` copies it into the
+// `Charge` so the hot methods test a single register.
+const M_PROBE: u8 = 1 << 0;
+const M_CENSUS: u8 = 1 << 1;
+const M_FAULT: u8 = 1 << 2;
+const M_TRACE: u8 = 1 << 3;
+const M_PROFILE: u8 = 1 << 4;
 
 /// A serializing processor resource.
 #[derive(Debug, Default)]
@@ -28,6 +46,8 @@ pub struct Cpu {
     census: Option<CensusHandle>,
     fault: Option<FaultPlaneHandle>,
     trace: Option<TraceHandle>,
+    profile: Option<ProfileHandle>,
+    mask: u8,
 }
 
 impl Cpu {
@@ -36,10 +56,26 @@ impl Cpu {
         Cpu::default()
     }
 
+    fn recompute_mask(&mut self) {
+        fn bit(attached: bool, mask: u8) -> u8 {
+            if attached {
+                mask
+            } else {
+                0
+            }
+        }
+        self.mask = bit(self.probe.is_some(), M_PROBE)
+            | bit(self.census.is_some(), M_CENSUS)
+            | bit(self.fault.is_some(), M_FAULT)
+            | bit(self.trace.is_some(), M_TRACE)
+            | bit(self.profile.is_some(), M_PROFILE);
+    }
+
     /// Attaches (or detaches) a latency probe; charges are attributed to
     /// it by layer.
     pub fn set_probe(&mut self, probe: Option<ProbeHandle>) {
         self.probe = probe;
+        self.recompute_mask();
     }
 
     /// Returns the attached probe, if any.
@@ -53,6 +89,7 @@ impl Cpu {
     /// simulation.
     pub fn set_census(&mut self, census: Option<CensusHandle>) {
         self.census = census;
+        self.recompute_mask();
     }
 
     /// Returns the attached census, if any.
@@ -67,6 +104,7 @@ impl Cpu {
     /// simulation.
     pub fn set_fault_plane(&mut self, fault: Option<FaultPlaneHandle>) {
         self.fault = fault;
+        self.recompute_mask();
     }
 
     /// Returns the attached fault plane, if any.
@@ -81,11 +119,28 @@ impl Cpu {
     /// perturb the simulation.
     pub fn set_tracer(&mut self, trace: Option<TraceHandle>) {
         self.trace = trace;
+        self.recompute_mask();
     }
 
     /// Returns the attached tracer, if any.
     pub fn tracer(&self) -> Option<&TraceHandle> {
         self.trace.as_ref()
+    }
+
+    /// Attaches (or detaches) a charged-time profiler; every nanosecond
+    /// charged through charges opened on this CPU is attributed to it at
+    /// `finish` time. Profiling never charges virtual time and never
+    /// consumes randomness. For the exact-conservation guarantee
+    /// (`attributed_ns == total_busy`) attach before the CPU's first
+    /// charge.
+    pub fn set_profiler(&mut self, profile: Option<ProfileHandle>) {
+        self.profile = profile;
+        self.recompute_mask();
+    }
+
+    /// Returns the attached profiler, if any.
+    pub fn profiler(&self) -> Option<&ProfileHandle> {
+        self.profile.as_ref()
     }
 
     /// The instant the CPU becomes free.
@@ -104,19 +159,33 @@ impl Cpu {
         Charge {
             start: now.max(self.busy_until),
             cursor: now.max(self.busy_until),
+            mask: self.mask,
             probe: self.probe.clone(),
             census: self.census.clone(),
             fault: self.fault.clone(),
             trace: self.trace.clone(),
+            profile: self.profile.clone(),
+            site: ROOT_SITE,
+            prof_buf: Vec::new(),
         }
     }
 
     /// Completes a path: the CPU stays busy until the cursor. Returns the
     /// completion instant at which side effects should be scheduled.
+    ///
+    /// If the charge carries a profiler, its buffered attribution
+    /// entries are flushed here — the same instant its elapsed time
+    /// enters `total_busy`, which is what makes conservation exact: a
+    /// charge's elapsed time is definitionally the sum of its `add`
+    /// costs, and abandoned (never-finished) charges reach neither
+    /// accumulator.
     pub fn finish(&mut self, charge: Charge) -> SimTime {
         debug_assert!(charge.cursor >= self.busy_until || charge.cursor >= charge.start);
         self.total_busy += charge.elapsed();
         self.busy_until = self.busy_until.max(charge.cursor);
+        if let Some(p) = &charge.profile {
+            p.borrow_mut().flush(&charge.prof_buf);
+        }
         charge.cursor
     }
 }
@@ -129,10 +198,16 @@ impl Cpu {
 pub struct Charge {
     start: SimTime,
     cursor: SimTime,
+    mask: u8,
     probe: Option<ProbeHandle>,
     census: Option<CensusHandle>,
     fault: Option<FaultPlaneHandle>,
     trace: Option<TraceHandle>,
+    profile: Option<ProfileHandle>,
+    /// Current site-trie node for hierarchical attribution.
+    site: u32,
+    /// Buffered attribution entries, flushed by [`Cpu::finish`].
+    prof_buf: Vec<ProfEntry>,
 }
 
 impl Charge {
@@ -142,10 +217,14 @@ impl Charge {
         Charge {
             start: now,
             cursor: now,
+            mask: (probe.is_some() as u8) * M_PROBE,
             probe,
             census: None,
             fault: None,
             trace: None,
+            profile: None,
+            site: ROOT_SITE,
+            prof_buf: Vec::new(),
         }
     }
 
@@ -165,10 +244,42 @@ impl Charge {
     }
 
     /// Charges `cost` against `layer`.
+    #[inline]
     pub fn add(&mut self, layer: Layer, cost: SimTime) {
         self.cursor += cost;
+        if self.mask & (M_PROBE | M_PROFILE) != 0 {
+            self.add_observed(layer, cost);
+        }
+    }
+
+    /// The observed-run half of [`Charge::add`], kept out of the
+    /// all-planes-detached fast path.
+    #[cold]
+    fn add_observed(&mut self, layer: Layer, cost: SimTime) {
         if let Some(p) = &self.probe {
             p.borrow_mut().record(layer, cost);
+        }
+        if self.mask & M_PROFILE != 0 {
+            let tid = match &self.trace {
+                Some(t) => t.borrow().current().map(|id| id.0).unwrap_or(NO_PACKET),
+                None => NO_PACKET,
+            };
+            let layer = layer.index() as u8;
+            // Coalesce runs of adds at the same (site, layer, packet):
+            // typical paths charge the same bucket several times in a
+            // row, and one merged entry keeps the buffer tiny.
+            if let Some(last) = self.prof_buf.last_mut() {
+                if last.node == self.site && last.layer == layer && last.tid == tid {
+                    last.ns += cost.as_nanos();
+                    return;
+                }
+            }
+            self.prof_buf.push(ProfEntry {
+                node: self.site,
+                layer,
+                ns: cost.as_nanos(),
+                tid,
+            });
         }
     }
 
@@ -186,8 +297,10 @@ impl Charge {
     /// cost.
     pub fn crossing(&mut self, layer: Layer, cost: SimTime) {
         self.add(layer, cost);
-        if let Some(p) = &self.probe {
-            p.borrow_mut().record_crossing(layer);
+        if self.mask & M_PROBE != 0 {
+            if let Some(p) = &self.probe {
+                p.borrow_mut().record_crossing(layer);
+            }
         }
     }
 
@@ -200,22 +313,57 @@ impl Charge {
         self.note(OpKind::BoundaryCrossing, domain, layer);
     }
 
+    // --- Charged-time profiling hooks ---
+
+    /// Pushes a profiling site: subsequent charges are attributed to
+    /// `label` (nested under the current site) until the matching
+    /// [`Charge::site_pop`]. Free, and a no-op without a profiler.
+    /// Pushes and pops must balance along every instrumented path.
+    #[inline]
+    pub fn site_push(&mut self, domain: Domain, label: &'static str) {
+        if self.mask & M_PROFILE != 0 {
+            let p = self.profile.as_ref().expect("mask implies profiler");
+            self.site = p.borrow_mut().intern(self.site, domain, label);
+        }
+    }
+
+    /// Pops the innermost profiling site.
+    #[inline]
+    pub fn site_pop(&mut self) {
+        if self.mask & M_PROFILE != 0 {
+            let p = self.profile.as_ref().expect("mask implies profiler");
+            let parent = p.borrow().parent_of(self.site);
+            self.site = parent;
+        }
+    }
+
+    /// Returns the profiler this cursor attributes to.
+    pub fn profile_handle(&self) -> Option<ProfileHandle> {
+        self.profile.clone()
+    }
+
     /// Counts one occurrence of `op` in the census and the tracer (if
     /// attached). Counting is free: the cursor does not advance. This
     /// single hook fans out to both sinks, so a call site can never
     /// increment one and not the other.
+    #[inline]
     pub fn note(&mut self, op: OpKind, domain: Domain, layer: Layer) {
-        if let Some(c) = &self.census {
-            c.borrow_mut().note(op, domain, layer);
-        }
-        if let Some(t) = &self.trace {
-            t.borrow_mut().note_op(op, self.cursor);
+        if self.mask & (M_CENSUS | M_TRACE) != 0 {
+            self.note_observed(op, domain, layer, 1);
         }
     }
 
     /// Counts `n` occurrences of `op` in the census and the tracer (if
     /// attached).
+    #[inline]
     pub fn note_n(&mut self, op: OpKind, domain: Domain, layer: Layer, n: u64) {
+        if self.mask & (M_CENSUS | M_TRACE) != 0 {
+            self.note_observed(op, domain, layer, n);
+        }
+    }
+
+    #[cold]
+    fn note_observed(&mut self, op: OpKind, domain: Domain, layer: Layer, n: u64) {
         if let Some(c) = &self.census {
             c.borrow_mut().note_n(op, domain, layer, n);
         }
@@ -226,9 +374,12 @@ impl Charge {
 
     /// Counts `n` occurrences of `op` against an opaque scope id (e.g. an
     /// endpoint id) in the census (if one is attached).
+    #[inline]
     pub fn note_scoped(&mut self, op: OpKind, scope: u64, n: u64) {
-        if let Some(c) = &self.census {
-            c.borrow_mut().note_scoped(op, scope, n);
+        if self.mask & M_CENSUS != 0 {
+            if let Some(c) = &self.census {
+                c.borrow_mut().note_scoped(op, scope, n);
+            }
         }
     }
 
@@ -247,7 +398,11 @@ impl Charge {
     /// the visit and reports whether this visit fails. Consulting is
     /// free — the cursor does not advance — and a detached or empty
     /// plane always answers `false`.
+    #[inline]
     pub fn fault(&mut self, site: FaultSite) -> bool {
+        if self.mask & M_FAULT == 0 {
+            return false;
+        }
         match &self.fault {
             Some(f) => f.borrow_mut().should_inject(site),
             None => false,
@@ -275,7 +430,11 @@ impl Charge {
     }
 
     /// Opens a `stage` span on the current packet at the cursor.
+    #[inline]
     pub fn trace_span_start(&mut self, stage: Stage) {
+        if self.mask & M_TRACE == 0 {
+            return;
+        }
         if let Some(t) = &self.trace {
             let mut t = t.borrow_mut();
             if let Some(id) = t.current() {
@@ -286,7 +445,11 @@ impl Charge {
 
     /// Closes the innermost open span (which must be `stage`) on the
     /// current packet at the cursor.
+    #[inline]
     pub fn trace_span_end(&mut self, stage: Stage) {
+        if self.mask & M_TRACE == 0 {
+            return;
+        }
         if let Some(t) = &self.trace {
             let mut t = t.borrow_mut();
             if let Some(id) = t.current() {
@@ -296,7 +459,11 @@ impl Charge {
     }
 
     /// Records a named instant event on the current packet.
+    #[inline]
     pub fn trace_event(&mut self, name: &'static str) {
+        if self.mask & M_TRACE == 0 {
+            return;
+        }
         if let Some(t) = &self.trace {
             let mut t = t.borrow_mut();
             if let Some(id) = t.current() {
@@ -311,6 +478,9 @@ impl Charge {
     /// current packet is the one dying.
     pub fn trace_drop(&mut self, reason: DropReason, domain: Domain) {
         self.count_drop(reason, domain);
+        if self.mask & M_TRACE == 0 {
+            return;
+        }
         if let Some(t) = &self.trace {
             let mut t = t.borrow_mut();
             if let Some(id) = t.current() {
@@ -324,9 +494,12 @@ impl Charge {
     /// (ARP-pending, limiter, disconnected device): a reply triggered
     /// by a received packet can die on the way out while the received
     /// packet itself lives on.
+    #[inline]
     pub fn count_drop(&mut self, reason: DropReason, domain: Domain) {
-        if let Some(c) = &self.census {
-            c.borrow_mut().note_drop(reason, domain);
+        if self.mask & M_CENSUS != 0 {
+            if let Some(c) = &self.census {
+                c.borrow_mut().note_drop(reason, domain);
+            }
         }
     }
 
@@ -342,6 +515,9 @@ impl Charge {
     }
 
     fn trace_terminal(&mut self, term: Terminal) {
+        if self.mask & M_TRACE == 0 {
+            return;
+        }
         if let Some(t) = &self.trace {
             let mut t = t.borrow_mut();
             if let Some(id) = t.current() {
@@ -431,6 +607,23 @@ mod tests {
     }
 
     #[test]
+    fn detached_masks_match_attachments() {
+        // The packed dispatch mask must agree with the handles: a
+        // detached charge with a probe still records, and site hooks on
+        // an unprofiled charge are free no-ops.
+        let probe = LatencyProbe::shared();
+        let mut c = Charge::detached(SimTime::ZERO, Some(probe.clone()));
+        c.site_push(Domain::Kernel, "nowhere");
+        c.add_ns(Layer::NetworkTransit, 11);
+        c.site_pop();
+        assert_eq!(
+            probe.borrow().layer(Layer::NetworkTransit).total,
+            SimTime::from_nanos(11)
+        );
+        assert!(!c.fault(FaultSite::WireLoss));
+    }
+
+    #[test]
     fn note_fans_out_to_census_and_tracer() {
         use crate::census::Census;
         use crate::trace::Tracer;
@@ -499,5 +692,20 @@ mod tests {
             probe.borrow().layer(Layer::NetworkTransit).total,
             SimTime::from_micros(51)
         );
+    }
+
+    #[test]
+    fn mask_tracks_detach() {
+        // Attach, then detach: the mask must drop back so hot methods
+        // take the fast path again and observers stop receiving.
+        use crate::census::Census;
+        let census = Census::shared();
+        let mut cpu = Cpu::new();
+        cpu.set_census(Some(census.clone()));
+        cpu.set_census(None);
+        let mut c = cpu.begin(SimTime::ZERO);
+        c.note(OpKind::PacketBodyCopy, Domain::Kernel, Layer::KernelCopyout);
+        cpu.finish(c);
+        assert_eq!(census.borrow().total(OpKind::PacketBodyCopy), 0);
     }
 }

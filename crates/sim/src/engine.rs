@@ -17,6 +17,7 @@
 //! checked by `tests/engine_equivalence.rs`), so same-seed runs are
 //! byte-identical across the rework.
 
+use crate::metrics::MetricsHandle;
 use crate::rng::Rng;
 use crate::smallfn::SmallFn;
 use crate::time::SimTime;
@@ -42,6 +43,16 @@ impl SimHandle {
     }
 }
 
+/// The virtual-time gauge sampler threaded through the run loop (see
+/// [`crate::metrics`]). Deliberately not an event: sampling between
+/// events consumes no sequence numbers, schedules nothing, and cannot
+/// perturb the workload.
+struct Sampler {
+    metrics: MetricsHandle,
+    period: SimTime,
+    next: SimTime,
+}
+
 /// The simulation: virtual clock, event queue, and root PRNG.
 pub struct Sim {
     now: SimTime,
@@ -49,6 +60,7 @@ pub struct Sim {
     wheel: TimerWheel,
     rng: Rng,
     executed: u64,
+    sampler: Option<Sampler>,
 }
 
 impl Sim {
@@ -60,6 +72,38 @@ impl Sim {
             wheel: TimerWheel::new(),
             rng: Rng::new(seed),
             executed: 0,
+            sampler: None,
+        }
+    }
+
+    /// Installs a metrics sampler: every registered gauge is read on a
+    /// fixed virtual-time cadence, starting at the current instant. The
+    /// sampler lives in the run loop, not the event queue — it is
+    /// observationally inert (no events, no sequence numbers, no RNG),
+    /// so a sampled run is byte-identical to an unsampled one.
+    pub fn set_metrics_sampler(&mut self, metrics: MetricsHandle, period: SimTime) {
+        assert!(period > SimTime::ZERO, "sampling period must be positive");
+        self.sampler = Some(Sampler {
+            metrics,
+            period,
+            next: self.now,
+        });
+    }
+
+    /// Removes the metrics sampler, returning its registry.
+    pub fn clear_metrics_sampler(&mut self) -> Option<MetricsHandle> {
+        self.sampler.take().map(|s| s.metrics)
+    }
+
+    /// Takes every sample due at or before `upto`. Runs between events,
+    /// so gauge closures see quiescent component state.
+    fn sample_to(&mut self, upto: SimTime) {
+        if let Some(s) = &mut self.sampler {
+            while s.next <= upto {
+                let at = s.next;
+                s.metrics.borrow_mut().sample(at);
+                s.next = at + s.period;
+            }
         }
     }
 
@@ -127,6 +171,9 @@ impl Sim {
         while n < limit {
             match self.pop_due(SimTime::MAX) {
                 Some((time, f)) => {
+                    if self.sampler.is_some() {
+                        self.sample_to(time);
+                    }
                     self.now = time;
                     self.executed += 1;
                     n += 1;
@@ -143,10 +190,16 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
         while let Some((time, f)) = self.pop_due(deadline) {
+            if self.sampler.is_some() {
+                self.sample_to(time);
+            }
             self.now = time;
             self.executed += 1;
             n += 1;
             f.call(self);
+        }
+        if self.sampler.is_some() {
+            self.sample_to(deadline);
         }
         if deadline > self.now {
             self.now = deadline;

@@ -27,7 +27,9 @@ pub mod cost;
 pub mod cpu;
 pub mod engine;
 pub mod fault;
+pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod reference;
 pub mod rng;
 mod smallfn;
@@ -41,7 +43,9 @@ pub use cost::{CostModel, Platform};
 pub use cpu::{Charge, Cpu};
 pub use engine::{Sim, SimHandle};
 pub use fault::{FaultPlane, FaultPlaneHandle, FaultSite};
+pub use metrics::{Metrics, MetricsHandle};
 pub use probe::{LatencyProbe, Layer, LayerStats, PathKind, ProbeHandle};
+pub use profile::{HotSite, ProfileHandle, Profiler};
 pub use reference::{BaselineHandle, BaselineQueue};
 pub use rng::Rng;
 pub use smallfn::{SmallFn, INLINE_BYTES};

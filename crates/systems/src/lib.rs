@@ -371,6 +371,42 @@ impl TestBed {
         self.ether.borrow_mut().set_tracer(Some(tracer.clone()));
     }
 
+    /// Attaches a fresh charged-time profiler to every host CPU,
+    /// returning one handle per host (in `hosts` order). Profiling
+    /// never charges virtual time and consumes no randomness, so an
+    /// attached profiler leaves every timing result bit-identical; it
+    /// guarantees exact conservation — attributed nanoseconds equal
+    /// `Cpu::total_busy` on each host, bit-exact.
+    pub fn attach_profilers(&mut self) -> Vec<psd_sim::ProfileHandle> {
+        self.hosts
+            .iter()
+            .map(|h| {
+                let prof = psd_sim::Profiler::shared();
+                h.cpu.borrow_mut().set_profiler(Some(prof.clone()));
+                prof
+            })
+            .collect()
+    }
+
+    /// Builds a gauge registry over both hosts (kernel interface and
+    /// delivery-ring state, OS-side protocol state, the shared mbuf
+    /// pool) and arms the engine's run-loop sampler at `period`.
+    /// Sampling is inert: no events, no randomness, no virtual time —
+    /// a sampled run stays byte-identical. Register any bed-specific
+    /// gauges on the returned handle before the simulation first runs.
+    pub fn attach_metrics(&mut self, period: psd_sim::SimTime) -> psd_sim::MetricsHandle {
+        let metrics = psd_sim::Metrics::shared();
+        {
+            let mut m = metrics.borrow_mut();
+            for (i, h) in self.hosts.iter().enumerate() {
+                register_host_gauges(&mut m, i, h);
+            }
+            register_mbuf_gauges(&mut m);
+        }
+        self.sim.set_metrics_sampler(metrics.clone(), period);
+        metrics
+    }
+
     /// Runs the simulation until idle.
     pub fn settle(&mut self) {
         self.sim.run_to_idle();
@@ -609,6 +645,55 @@ impl MultiHopBed {
             .collect()
     }
 
+    /// Attaches a fresh charged-time profiler to every host CPU (one
+    /// handle per host, in `hosts` order). Same contract as
+    /// [`TestBed::attach_profilers`]: bit-identical timing, exact
+    /// conservation per host CPU.
+    pub fn attach_profilers(&mut self) -> Vec<psd_sim::ProfileHandle> {
+        self.hosts
+            .iter()
+            .map(|h| {
+                let prof = psd_sim::Profiler::shared();
+                h.cpu.borrow_mut().set_profiler(Some(prof.clone()));
+                prof
+            })
+            .collect()
+    }
+
+    /// Builds a gauge registry over the whole diamond — both hosts'
+    /// kernel/protocol/pool gauges plus every switch and router egress
+    /// queue depth (including R1's RED-managed primary WAN port) — and
+    /// arms the engine's run-loop sampler at `period`. Same inertness
+    /// contract as [`TestBed::attach_metrics`].
+    pub fn attach_metrics(&mut self, period: SimTime) -> psd_sim::MetricsHandle {
+        let metrics = psd_sim::Metrics::shared();
+        {
+            let mut m = metrics.borrow_mut();
+            for (i, h) in self.hosts.iter().enumerate() {
+                register_host_gauges(&mut m, i, h);
+            }
+            register_mbuf_gauges(&mut m);
+            {
+                let sw = self.switch.borrow();
+                for p in 0..2 {
+                    let depth = sw.port_depth_cell(p);
+                    m.register(format!("switch.p{p}.depth"), move || depth.get() as u64);
+                }
+            }
+            for (ri, r) in self.routers.iter().enumerate() {
+                let r = r.borrow();
+                for p in 0..3 {
+                    let depth = r.port_depth_cell(p);
+                    m.register(format!("r{}.p{p}.depth", ri + 1), move || {
+                        depth.get() as u64
+                    });
+                }
+            }
+        }
+        self.sim.set_metrics_sampler(metrics.clone(), period);
+        metrics
+    }
+
     /// Runs the simulation until idle.
     pub fn settle(&mut self) {
         self.sim.run_to_idle();
@@ -619,6 +704,45 @@ impl MultiHopBed {
         let deadline = self.sim.now() + d;
         self.sim.run_until(deadline);
     }
+}
+
+/// Registers one host's standard gauges under an `h{i}.` prefix:
+/// kernel interface counters, delivery-ring occupancy, live endpoints,
+/// and the OS-side stack's session and aggregate TCP state. Library
+/// configurations keep per-session TCP state in application library
+/// stacks — register those separately on the returned handle if a
+/// workload needs them.
+fn register_host_gauges(m: &mut psd_sim::Metrics, i: usize, h: &Host) {
+    let k = h.kernel.clone();
+    m.register(format!("h{i}.rx_frames"), move || {
+        k.borrow().stats().rx_frames
+    });
+    let ring = h.kernel.borrow().ring_occupancy_cell();
+    m.register(format!("h{i}.ring"), move || ring.get());
+    let k = h.kernel.clone();
+    m.register(format!("h{i}.endpoints"), move || {
+        k.borrow().endpoint_count() as u64
+    });
+    let st = h.os_stack();
+    m.register(format!("h{i}.sessions"), move || {
+        st.borrow().session_count() as u64
+    });
+    for (j, name) in ["tcp_conns", "tcp_cwnd", "tcp_ssthresh", "tcp_rto_ns"]
+        .into_iter()
+        .enumerate()
+    {
+        let st = h.os_stack();
+        m.register(format!("h{i}.{name}"), move || {
+            let g = st.borrow().tcp_gauges();
+            [g.0, g.1, g.2, g.3][j]
+        });
+    }
+}
+
+/// Registers the (thread-local, bed-wide) mbuf pool hit/miss totals.
+fn register_mbuf_gauges(m: &mut psd_sim::Metrics) {
+    m.register("mbuf.hits", || psd_mbuf::pool_stats().hits());
+    m.register("mbuf.misses", || psd_mbuf::pool_stats().misses());
 }
 
 #[allow(clippy::too_many_arguments)]
